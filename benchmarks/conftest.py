@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+``runs`` performs the expensive part once per session: compiling all
+seven workloads, generating their access phases, and simulating the
+three execution schemes through the cache hierarchy.  Every table and
+figure is then derived analytically from those profiles (the paper's
+own methodology, Section 3.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_all
+from repro.sim import MachineConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def runs(config):
+    return run_all(scale=1, config=config)

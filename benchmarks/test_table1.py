@@ -1,0 +1,50 @@
+"""Table 1 — application characteristics.
+
+Regenerates the paper's Table 1 (affine loops / total, # tasks, TA%,
+TA µs) and checks the reproducible half exactly (loop classification)
+plus the modeled half in shape (TA% ordering, µs-scale phases).
+"""
+
+import pytest
+
+from repro.evaluation import render_table1, table1_rows
+
+PAPER_AFFINE = {
+    "lu": (3, 3), "cholesky": (3, 3), "fft": (0, 6), "lbm": (0, 1),
+    "libq": (0, 6), "cigar": (0, 1), "cg": (0, 2),
+}
+
+
+def test_table1(runs, config, benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(runs, config), rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_table1(rows))
+
+    by_name = {r.name: r for r in rows}
+
+    # Compile-time classification must match the paper exactly.
+    for name, (affine, total) in PAPER_AFFINE.items():
+        row = by_name[name]
+        assert (row.affine_loops, row.total_loops) == (affine, total), name
+
+    # Shape: compute-bound apps have tiny access fractions, memory-bound
+    # apps spend roughly half their time in the access phase.
+    assert by_name["lu"].ta_percent < 20
+    assert by_name["cholesky"].ta_percent < 20
+    for name in ("libq", "cigar", "cg"):
+        assert 25 < by_name[name].ta_percent < 80, name
+    # LBM keeps its stores coupled in the execute phase, which stretches
+    # the execute side at our scale; its access share sits lower.
+    assert 10 < by_name["lbm"].ta_percent < 60
+
+    # Ordering matches the paper: LU/Cholesky lowest, CIGAR/LibQ high.
+    assert by_name["lu"].ta_percent < by_name["fft"].ta_percent
+    assert by_name["fft"].ta_percent < by_name["cigar"].ta_percent
+
+    # Access phases are in the paper's microsecond band (5-100us there;
+    # our working sets are capacity-scaled ~1/16, so sub-10us here).
+    for row in rows:
+        assert 0.05 < row.ta_usec < 40, row.name

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""End-to-end DVFS pipeline on one benchmark application.
+
+Profiles the LibQ workload under coupled (CAE), compiler-DAE and
+manual-DAE execution, then schedules each under the paper's frequency
+policies and prints the Figure-3-style comparison: time, energy and EDP
+normalized to coupled execution at max frequency.
+
+Run:  python examples/dvfs_pipeline.py  [--workload libq] [--scale 1]
+"""
+
+import argparse
+
+from repro.evaluation import run_workload, schedule
+from repro.sim import MachineConfig
+from repro.workloads import workload_by_name
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workload", default="libq")
+    parser.add_argument("--scale", type=int, default=1)
+    args = parser.parse_args()
+
+    config = MachineConfig()
+    workload = workload_by_name(args.workload)
+    print("profiling %r (scale %d) under cae/dae/manual..."
+          % (workload.name, args.scale))
+    run = run_workload(workload, scale=args.scale, config=config)
+
+    print("tasks: %d" % run.task_count)
+    for name, result in run.compiled.results.items():
+        print("  %-16s -> %s access version" % (name, result.method))
+
+    baseline = schedule(run, "cae", "fmax", config)
+    print("\nbaseline (CAE @ %.1f GHz): %.1f us, %.1f uJ"
+          % (config.fmax.freq_ghz, baseline.time_ns / 1e3,
+             baseline.energy_nj / 1e3))
+
+    print("\n%-28s %8s %8s %8s %12s" % (
+        "configuration", "time", "energy", "EDP", "transitions",
+    ))
+    for label, scheme, policy in (
+        ("CAE (Optimal f.)", "cae", "optimal"),
+        ("Compiler DAE (Min/Max f.)", "dae", "minmax"),
+        ("Compiler DAE (Optimal f.)", "dae", "optimal"),
+        ("Manual DAE (Min/Max f.)", "manual", "minmax"),
+        ("Manual DAE (Optimal f.)", "manual", "optimal"),
+    ):
+        result = schedule(run, scheme, policy, config)
+        print("%-28s %8.3f %8.3f %8.3f %12d" % (
+            label,
+            result.time_ns / baseline.time_ns,
+            result.energy_nj / baseline.energy_nj,
+            result.edp_js / baseline.edp_js,
+            result.transitions,
+        ))
+
+    print("\n(normalized to CAE at max frequency; EDP < 1.0 is better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy setuptools editable install
+through this file when PEP 517 build isolation is unavailable (offline
+environments); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — compiler-generated decoupled access-execute for DVFS.
+
+A full-system reproduction of Jimborean et al., *"Fix the code. Don't
+tweak the hardware: A new compiler approach to Voltage-Frequency
+scaling"* (CGO 2014):
+
+* :mod:`repro.frontend` — a small C-like task language;
+* :mod:`repro.ir` — the SSA IR the compiler works on;
+* :mod:`repro.analysis` — loops, scalar evolution, access classification;
+* :mod:`repro.polyhedral` — the PolyLib-equivalent polyhedral substrate;
+* :mod:`repro.transform` — optimizations and the access-phase generators
+  (the paper's contribution: Section 5);
+* :mod:`repro.interp` / :mod:`repro.sim` — IR interpreter and the cache /
+  core timing model standing in for the Sandy Bridge testbed;
+* :mod:`repro.power` — the paper's power/EDP model and DVFS policies;
+* :mod:`repro.runtime` — the DAE task runtime with work stealing;
+* :mod:`repro.workloads` — the seven benchmark applications;
+* :mod:`repro.evaluation` — Table 1, Figures 1-4 and the headline
+  numbers of Section 6.
+
+Quick start::
+
+    from repro import compile_source, generate_access_phase, optimize_module
+
+    module = compile_source(TASK_SOURCE)
+    optimize_module(module)
+    result = generate_access_phase(module.function("my_task"), module=module)
+    print(result.method)            # 'affine' or 'skeleton'
+"""
+
+from .frontend import compile_source, parse
+from .ir import Function, Module, format_function, format_module
+from .sim.config import MachineConfig, sandybridge_full
+from .transform import optimize_function, optimize_module
+from .transform.access_phase import (
+    AccessPhaseOptions,
+    AccessPhaseResult,
+    generate_access_phase,
+    generate_module_access_phases,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "compile_source", "parse",
+    "Function", "Module", "format_function", "format_module",
+    "MachineConfig", "sandybridge_full",
+    "optimize_function", "optimize_module",
+    "AccessPhaseOptions", "AccessPhaseResult",
+    "generate_access_phase", "generate_module_access_phases",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Compiler analyses: CFG, dominators, loops, SCEV, memory accesses."""
+
+from .cfg import (
+    predecessors_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    successors_map,
+)
+from .dominators import DominatorTree
+from .loops import InductionVariable, Loop, LoopInfo
+from .memory_access import (
+    AccessAnalysis,
+    LoopClassification,
+    MemoryAccess,
+    classify_access,
+    trace_pointer,
+)
+from .scalar_evolution import LinearExpr, ScalarEvolution
+
+__all__ = [
+    "predecessors_map", "reachable_blocks", "remove_unreachable_blocks",
+    "reverse_postorder", "successors_map",
+    "DominatorTree",
+    "InductionVariable", "Loop", "LoopInfo",
+    "AccessAnalysis", "LoopClassification", "MemoryAccess",
+    "classify_access", "trace_pointer",
+    "LinearExpr", "ScalarEvolution",
+]

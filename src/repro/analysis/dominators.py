@@ -1,0 +1,172 @@
+"""Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+
+Used by mem2reg for phi placement and by the loop analysis to certify
+natural loops (back edges must target a dominator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import BasicBlock, Function
+from .cfg import predecessors_map, reverse_postorder
+
+
+class DominatorTree:
+    """Immediate-dominator tree of a function's (reachable) CFG."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.rpo = reverse_postorder(func)
+        self._index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute_idoms()
+        self.children: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.rpo}
+        for block, dom in self.idom.items():
+            if dom is not None and dom is not block:
+                self.children[dom].append(block)
+
+    def _compute_idoms(self) -> None:
+        preds = predecessors_map(self.func)
+        entry = self.func.entry
+        idom: dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds[block]:
+                    if pred not in self._index:
+                        continue  # unreachable predecessor
+                    if idom[pred] is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(idom, pred, new_idom)
+                if new_idom is not None and idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None  # by convention the entry has no idom
+        self.idom = idom
+
+    def _intersect(self, idom, b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+        while b1 is not b2:
+            while self._index[b1] > self._index[b2]:
+                b1 = idom[b1] if idom[b1] is not None else self.func.entry
+            while self._index[b2] > self._index[b1]:
+                b2 = idom[b2] if idom[b2] is not None else self.func.entry
+        return b1
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexively)."""
+        current: Optional[BasicBlock] = b
+        while current is not None:
+            if current is a:
+                return True
+            current = self.idom.get(current)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominance_frontiers(self) -> dict[BasicBlock, set[BasicBlock]]:
+        """Per-block dominance frontier (Cytron phi-placement sets)."""
+        preds = predecessors_map(self.func)
+        frontiers: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in self.rpo}
+        for block in self.rpo:
+            block_preds = [p for p in preds[block] if p in self._index]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom[runner]
+        return frontiers
+
+
+def post_dominator_map(func: Function) -> dict:
+    """Immediate post-dominators, computed on the reversed CFG.
+
+    Returns ``{block: ipostdom_block_or_None}``; a block whose immediate
+    post-dominator is the virtual exit maps to None.  Used by the
+    skeleton generator to find the merge point of a conditional region.
+    """
+    # Node 0 is the virtual exit; blocks are 1..n in function order.
+    blocks = list(func.blocks)
+    index_of = {id(b): i + 1 for i, b in enumerate(blocks)}
+    n = len(blocks) + 1
+
+    # Reversed-graph adjacency: succs_rev(b) = original predecessors,
+    # preds_rev(b) = original successors (exits gain the virtual exit).
+    succs_rev: list[list[int]] = [[] for _ in range(n)]
+    preds_rev: list[list[int]] = [[] for _ in range(n)]
+    for i, block in enumerate(blocks, start=1):
+        for succ in block.successors():
+            j = index_of[id(succ)]
+            succs_rev[j].append(i)
+            preds_rev[i].append(j)
+        if not block.successors():
+            succs_rev[0].append(i)
+            preds_rev[i].append(0)
+
+    # Reverse postorder of the reversed graph from the virtual exit.
+    visited = [False] * n
+    postorder: list[int] = []
+    stack = [(0, iter(succs_rev[0]))]
+    visited[0] = True
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if not visited[nxt]:
+                visited[nxt] = True
+                stack.append((nxt, iter(succs_rev[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(node)
+            stack.pop()
+    rpo = list(reversed(postorder))
+    order = {node: i for i, node in enumerate(rpo)}
+
+    UNDEF = -1
+    idom = [UNDEF] * n
+    idom[0] = 0
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order[a] > order[b]:
+                a = idom[a]
+            while order[b] > order[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == 0:
+                continue
+            new_idom = UNDEF
+            for pred in preds_rev[node]:
+                if pred in order and idom[pred] != UNDEF:
+                    new_idom = pred if new_idom == UNDEF else intersect(
+                        pred, new_idom
+                    )
+            if new_idom != UNDEF and idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    result = {}
+    for i, block in enumerate(blocks, start=1):
+        ipdom = idom[i]
+        if ipdom in (0, UNDEF):
+            result[block] = None
+        else:
+            result[block] = blocks[ipdom - 1]
+    return result

@@ -1,0 +1,210 @@
+"""Classification of memory accesses: affine vs. non-affine.
+
+For every load/store/prefetch in a task we trace the address back through
+GEPs to a base pointer and express the element index as a linear form of
+the enclosing loops' induction variables (Section 5: "we compute linear
+functions to describe the access pattern of each memory instruction, when
+possible").  A task whose target loops are all affine takes the
+polyhedral path; anything else takes the skeleton path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir import (
+    GEP,
+    Alloca,
+    Argument,
+    Function,
+    GlobalVariable,
+    Instruction,
+    Load,
+    Prefetch,
+    Store,
+    Value,
+)
+from .loops import Loop, LoopInfo
+from .scalar_evolution import LinearExpr, ScalarEvolution
+
+
+@dataclass
+class MemoryAccess:
+    """One memory instruction with its resolved address information."""
+
+    inst: Instruction
+    kind: str  # 'load' | 'store' | 'prefetch'
+    base: Optional[Value]  # argument/global the address derives from
+    index: Optional[LinearExpr]  # element index; None when non-affine
+    element_size: int
+    loop: Optional[Loop]  # innermost enclosing loop
+    is_local_scalar: bool = False  # alloca traffic (register spills)
+
+    @property
+    def is_affine(self) -> bool:
+        return self.base is not None and self.index is not None
+
+    def __repr__(self) -> str:
+        base = self.base.name if self.base is not None else "?"
+        return "<MemoryAccess %s @%s[%r]>" % (self.kind, base, self.index)
+
+
+def trace_pointer(pointer: Value, scev: ScalarEvolution):
+    """Follow GEP chains to (base, index-linear-form).
+
+    Returns ``(base, index_expr)``; ``index_expr`` is None when any GEP
+    index on the way is non-linear, and ``base`` is None when the chain
+    bottoms out in something that is not an argument, global or alloca
+    (e.g. a pointer loaded from memory — pointer chasing).
+    """
+    index: Optional[LinearExpr] = LinearExpr.constant(0)
+    current = pointer
+    while True:
+        if isinstance(current, GEP):
+            step = scev.linear(current.index)
+            if index is not None and step is not None:
+                index = index + step
+            else:
+                index = None
+            current = current.base
+        elif isinstance(current, (Argument, GlobalVariable, Alloca)):
+            return current, index
+        else:
+            return None, None
+
+
+def classify_access(inst: Instruction, scev: ScalarEvolution,
+                    loop_info: LoopInfo) -> MemoryAccess:
+    if isinstance(inst, Load):
+        kind, pointer = "load", inst.pointer
+        elem_size = inst.type.size_bytes
+    elif isinstance(inst, Store):
+        kind, pointer = "store", inst.pointer
+        elem_size = inst.value.type.size_bytes
+    elif isinstance(inst, Prefetch):
+        kind, pointer = "prefetch", inst.pointer
+        elem_size = pointer.type.pointee.size_bytes  # type: ignore[attr-defined]
+    else:
+        raise TypeError("not a memory instruction: %r" % inst)
+
+    base, index = trace_pointer(pointer, scev)
+    loop = loop_info.loop_for(inst.parent) if inst.parent is not None else None
+    access = MemoryAccess(
+        inst=inst, kind=kind, base=base, index=index,
+        element_size=elem_size, loop=loop,
+        is_local_scalar=isinstance(base, Alloca),
+    )
+    return access
+
+
+@dataclass
+class LoopClassification:
+    loop: Loop
+    is_affine: bool
+    reasons: list[str]
+
+
+class AccessAnalysis:
+    """Per-function memory-access and loop affinity analysis."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.loop_info = LoopInfo(func)
+        self.scev = ScalarEvolution(self.loop_info)
+        self.accesses: list[MemoryAccess] = []
+        for inst in func.instructions():
+            if isinstance(inst, (Load, Store, Prefetch)):
+                self.accesses.append(
+                    classify_access(inst, self.scev, self.loop_info)
+                )
+        self.loop_classes = [
+            self._classify_loop(loop) for loop in self.loop_info.loops
+        ]
+
+    # -- queries ---------------------------------------------------------------
+
+    def real_accesses(self) -> list[MemoryAccess]:
+        """Accesses that touch actual memory (not alloca spill slots)."""
+        return [a for a in self.accesses if not a.is_local_scalar]
+
+    def loads(self) -> list[MemoryAccess]:
+        return [a for a in self.real_accesses() if a.kind == "load"]
+
+    def stores(self) -> list[MemoryAccess]:
+        return [a for a in self.real_accesses() if a.kind == "store"]
+
+    def target_loops(self) -> list[Loop]:
+        """Outermost loops — the unit the paper counts in Table 1."""
+        return self.loop_info.top_level()
+
+    def affine_target_loops(self) -> list[Loop]:
+        return [
+            lc.loop for lc in self.loop_classes
+            if lc.loop.parent is None and lc.is_affine
+        ]
+
+    def is_affine_task(self) -> bool:
+        """True when every target loop (and its body) is affine."""
+        if not self.loop_info.loops:
+            return bool(self.real_accesses()) and all(
+                a.is_affine for a in self.real_accesses()
+            )
+        return all(
+            lc.is_affine for lc in self.loop_classes if lc.loop.parent is None
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _classify_loop(self, loop: Loop) -> LoopClassification:
+        reasons: list[str] = []
+        self._check_loop_structure(loop, reasons)
+        for child in loop.children:
+            child_class = self._classify_loop(child)
+            if not child_class.is_affine:
+                reasons.append("inner loop %s non-affine" % child.header.name)
+        for access in self.real_accesses():
+            block = access.inst.parent
+            if block is None or block not in loop.blocks:
+                continue
+            inner = self.loop_info.loop_for(block)
+            if inner is not loop:
+                continue  # charged to the inner loop
+            if not access.is_affine:
+                reasons.append(
+                    "non-affine %s in %s" % (access.kind, block.name)
+                )
+        return LoopClassification(loop=loop, is_affine=not reasons, reasons=reasons)
+
+    def _check_loop_structure(self, loop: Loop, reasons: list[str]) -> None:
+        iv = loop.induction_variable()
+        if iv is None:
+            reasons.append("loop %s has no canonical IV" % loop.header.name)
+            return
+        bounds = self.scev.iv_bounds(iv.phi)
+        if bounds is None:
+            reasons.append(
+                "loop %s bounds are not affine" % loop.header.name
+            )
+            return
+        _init, _bound, predicate = bounds
+        if predicate not in ("slt", "sle"):
+            reasons.append(
+                "loop %s exit predicate %s unsupported"
+                % (loop.header.name, predicate)
+            )
+        # Static control flow: inside the loop (excluding inner-loop blocks
+        # and loop-control blocks) there must be no extra conditionals.
+        inner_blocks = set()
+        for child in loop.children:
+            inner_blocks.update(child.blocks)
+        for block in loop.blocks:
+            if block in inner_blocks or block is loop.header:
+                continue
+            if block in [c.header for c in loop.children]:
+                continue
+            term = block.terminator
+            if term is not None and len(term.successors()) > 1:
+                reasons.append(
+                    "data-dependent control flow at %s" % block.name
+                )

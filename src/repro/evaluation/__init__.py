@@ -1,0 +1,44 @@
+"""Evaluation harness for every table and figure in Section 6."""
+
+from .experiments import (
+    FIGURE3_CONFIGS,
+    FIGURE4_WORKLOADS,
+    Figure3Row,
+    Figure4Point,
+    Figure4Series,
+    HeadlineNumbers,
+    Table1Row,
+    WorkloadRun,
+    figure3_rows,
+    figure4_series,
+    headline_numbers,
+    run_all,
+    run_workload,
+    schedule,
+    table1_rows,
+)
+from .figure12 import (
+    AnalysisDemo,
+    analyze_kernel,
+    figure1_demo,
+    figure2_demo,
+    render_figure1,
+    render_figure2,
+    single_hull_cells,
+)
+from .report import (
+    render_figure3,
+    render_figure4,
+    render_headline,
+    render_table1,
+)
+
+__all__ = [
+    "FIGURE3_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row", "Figure4Point",
+    "Figure4Series", "HeadlineNumbers", "Table1Row", "WorkloadRun",
+    "figure3_rows", "figure4_series", "headline_numbers", "run_all",
+    "run_workload", "schedule", "table1_rows",
+    "AnalysisDemo", "analyze_kernel", "figure1_demo", "figure2_demo",
+    "render_figure1", "render_figure2", "single_hull_cells",
+    "render_figure3", "render_figure4", "render_headline", "render_table1",
+]

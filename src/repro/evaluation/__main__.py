@@ -1,0 +1,80 @@
+"""Command-line entry: ``python -m repro.evaluation <experiment>``.
+
+Experiments: table1, figure1, figure2, figure3, figure4, headline, all.
+Options: ``--scale N`` (workload size multiplier, default 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..sim.config import MachineConfig
+from ..workloads import workload_by_name
+from . import (
+    FIGURE4_WORKLOADS,
+    figure1_demo,
+    figure2_demo,
+    figure3_rows,
+    figure4_series,
+    headline_numbers,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_headline,
+    render_table1,
+    run_all,
+    run_workload,
+    table1_rows,
+)
+
+_FULL_RUN_EXPERIMENTS = {"table1", "figure3", "headline", "all"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "figure1", "figure2", "figure3", "figure4",
+                 "headline", "all"],
+    )
+    parser.add_argument("--scale", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    config = MachineConfig()
+    sections = []
+
+    runs = None
+    if args.experiment in _FULL_RUN_EXPERIMENTS:
+        print("profiling all workloads (scale %d)..." % args.scale,
+              file=sys.stderr)
+        runs = run_all(scale=args.scale, config=config)
+
+    if args.experiment in ("table1", "all"):
+        sections.append(render_table1(table1_rows(runs, config)))
+    if args.experiment in ("figure1", "all"):
+        sections.append(render_figure1(figure1_demo()))
+    if args.experiment in ("figure2", "all"):
+        sections.append(render_figure2(figure2_demo()))
+    if args.experiment in ("figure3", "all"):
+        sections.append(render_figure3(figure3_rows(runs, config)))
+    if args.experiment in ("figure4", "all"):
+        for name in FIGURE4_WORKLOADS:
+            run = (
+                runs[name] if runs is not None
+                else run_workload(workload_by_name(name), args.scale, config)
+            )
+            sections.append(render_figure4(name, figure4_series(run, config)))
+    if args.experiment in ("headline", "all"):
+        sections.append(render_headline(headline_numbers(runs, config)))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,344 @@
+"""Experiment harness: everything Section 6 reports.
+
+One ``run_workload`` simulation per (workload, scheme) produces the
+frequency-independent phase profiles; every figure and table is then
+evaluated analytically from those profiles — mirroring the paper's
+methodology of profiling at each frequency and combining with the power
+model (Section 3.1).
+
+Entry points:
+
+* :func:`table1_rows` — Table 1 (application characteristics);
+* :func:`figure3_rows` — Figure 3 a/b/c (time / energy / EDP, normalized
+  to CAE at max frequency, for the five configurations);
+* :func:`figure4_series` — Figure 4 (per-frequency stacked time/energy
+  profiles for Cholesky, FFT and LibQ);
+* :func:`headline_numbers` — Section 6.1's scalar claims (EDP gains at
+  500 ns and 0 ns transition latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..power.frequency import FixedPolicy, FrequencyPolicy, MinMaxPolicy, OptimalEDPPolicy
+from ..runtime.profiler import StreamProfile, TaskStreamProfiler
+from ..runtime.scheduler import DAEScheduler, ScheduleResult
+from ..sim.config import MachineConfig
+from ..workloads import ALL_WORKLOADS, Workload
+from ..workloads.base import CompiledWorkload
+
+SCHEMES = ("cae", "dae", "manual")
+
+#: The five configurations of Figure 3, in legend order.
+FIGURE3_CONFIGS = (
+    ("CAE (Optimal f.)", "cae", "cae", "optimal"),
+    ("Manual DAE (Min/Max f.)", "manual", "dae", "minmax"),
+    ("Manual DAE (Optimal f.)", "manual", "dae", "optimal"),
+    ("Compiler DAE (Min/Max f.)", "dae", "dae", "minmax"),
+    ("Compiler DAE (Optimal f.)", "dae", "dae", "optimal"),
+)
+
+
+@dataclass
+class WorkloadRun:
+    """All simulation products for one workload at one scale."""
+
+    workload: Workload
+    compiled: CompiledWorkload
+    profiles: dict[str, StreamProfile]
+    task_count: int
+
+
+def run_workload(workload: Workload, scale: int = 1,
+                 config: Optional[MachineConfig] = None) -> WorkloadRun:
+    """Compile and profile one workload under all three schemes."""
+    config = config or MachineConfig()
+    compiled = workload.compile()
+    profiles: dict[str, StreamProfile] = {}
+    task_count = 0
+    for scheme in SCHEMES:
+        memory, tasks, _ = workload.instantiate(scale=scale, compiled=compiled)
+        profiler = TaskStreamProfiler(memory, config)
+        profiles[scheme] = profiler.profile(tasks, scheme)
+        task_count = len(tasks)
+    return WorkloadRun(
+        workload=workload, compiled=compiled, profiles=profiles,
+        task_count=task_count,
+    )
+
+
+def run_all(scale: int = 1, config: Optional[MachineConfig] = None,
+            workloads=None) -> dict[str, WorkloadRun]:
+    config = config or MachineConfig()
+    result = {}
+    for cls in (workloads or ALL_WORKLOADS):
+        workload = cls() if isinstance(cls, type) else cls
+        result[workload.name] = run_workload(workload, scale, config)
+    return result
+
+
+def _policy(name: str, config: MachineConfig) -> FrequencyPolicy:
+    if name == "minmax":
+        return MinMaxPolicy()
+    if name == "optimal":
+        return OptimalEDPPolicy()
+    if name == "fmax":
+        return FixedPolicy(config.fmax)
+    raise ValueError("unknown policy %r" % name)
+
+
+def schedule(run: WorkloadRun, scheme: str, policy: str,
+             config: MachineConfig) -> ScheduleResult:
+    profile_scheme = "cae" if scheme == "cae" else scheme
+    scheduler = DAEScheduler(config)
+    run_scheme = "cae" if scheme == "cae" else "dae"
+    return scheduler.run(
+        run.profiles[profile_scheme].tasks, run_scheme,
+        _policy(policy, config),
+    )
+
+
+# -- Table 1 ------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    name: str
+    affine_loops: int
+    total_loops: int
+    tasks: int
+    ta_percent: float
+    ta_usec: float
+    paper_affine: int
+    paper_total: int
+    paper_tasks: int
+    paper_ta_percent: float
+    paper_ta_usec: float
+
+
+def table1_rows(runs: dict[str, WorkloadRun],
+                config: Optional[MachineConfig] = None) -> list[Table1Row]:
+    """Application characteristics (Table 1), paper vs. measured.
+
+    TA% and TA(µs) are measured like the paper's: access phases at fmin,
+    execute phases at fmax (the Min/Max configuration).
+    """
+    config = config or MachineConfig()
+    rows = []
+    for name, run in runs.items():
+        dae = run.profiles["dae"]
+        access_total_ns = 0.0
+        execute_total_ns = 0.0
+        access_phases = 0
+        for task in dae.tasks:
+            if task.access is not None:
+                access_total_ns += task.access.time_ns(config.fmin, config)
+                access_phases += 1
+            execute_total_ns += task.execute.time_ns(config.fmax, config)
+        total = access_total_ns + execute_total_ns
+        ta_percent = 100.0 * access_total_ns / total if total else 0.0
+        ta_usec = (
+            access_total_ns / access_phases / 1000.0 if access_phases else 0.0
+        )
+        paper = run.workload.paper
+        rows.append(Table1Row(
+            name=name,
+            affine_loops=run.compiled.affine_loops(),
+            total_loops=run.compiled.total_loops(),
+            tasks=run.task_count,
+            ta_percent=ta_percent,
+            ta_usec=ta_usec,
+            paper_affine=paper.affine_loops,
+            paper_total=paper.total_loops,
+            paper_tasks=paper.tasks,
+            paper_ta_percent=paper.ta_percent,
+            paper_ta_usec=paper.ta_usec,
+        ))
+    return rows
+
+
+# -- Figure 3 -----------------------------------------------------------------
+
+
+@dataclass
+class Figure3Row:
+    """One workload's five bars, normalized to CAE at fmax."""
+
+    name: str
+    time: dict[str, float] = field(default_factory=dict)
+    energy: dict[str, float] = field(default_factory=dict)
+    edp: dict[str, float] = field(default_factory=dict)
+
+
+def figure3_rows(runs: dict[str, WorkloadRun],
+                 config: Optional[MachineConfig] = None) -> list[Figure3Row]:
+    """Figure 3 (a) time, (b) energy, (c) EDP for every workload plus
+    the geometric mean, normalized to coupled execution at fmax."""
+    config = config or MachineConfig()
+    rows: list[Figure3Row] = []
+    for name, run in runs.items():
+        baseline = schedule(run, "cae", "fmax", config)
+        row = Figure3Row(name=name)
+        for label, stream, scheme, policy in FIGURE3_CONFIGS:
+            scheduler = DAEScheduler(config)
+            result = scheduler.run(
+                run.profiles[stream].tasks, scheme, _policy(policy, config)
+            )
+            row.time[label] = result.time_ns / baseline.time_ns
+            row.energy[label] = result.energy_nj / baseline.energy_nj
+            row.edp[label] = result.edp_js / baseline.edp_js
+        rows.append(row)
+    rows.append(_geomean_row(rows))
+    return rows
+
+
+def _geomean_row(rows: list[Figure3Row]) -> Figure3Row:
+    gm = Figure3Row(name="G.Mean")
+    if not rows:
+        return gm
+    labels = rows[0].time.keys()
+    for metric in ("time", "energy", "edp"):
+        for label in labels:
+            values = [getattr(row, metric)[label] for row in rows]
+            getattr(gm, metric)[label] = math.exp(
+                sum(math.log(v) for v in values) / len(values)
+            )
+    return gm
+
+
+# -- Figure 4 -----------------------------------------------------------------
+
+
+@dataclass
+class Figure4Point:
+    """One bar of a Figure 4 profile: stacked components at one execute
+    frequency (access phases run at fmin, as in the paper)."""
+
+    freq_ghz: float
+    prefetch_ns: float
+    task_ns: float
+    osi_ns: float
+    prefetch_nj: float
+    task_nj: float
+    osi_nj: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.prefetch_ns + self.task_ns + self.osi_ns
+
+    @property
+    def total_nj(self) -> float:
+        return self.prefetch_nj + self.task_nj + self.osi_nj
+
+
+@dataclass
+class Figure4Series:
+    """One configuration's bars (CAE / Manual DAE / Auto DAE)."""
+
+    label: str
+    points: list[Figure4Point] = field(default_factory=list)
+
+
+class _SweepPolicy(FrequencyPolicy):
+    """Access at fmin, execute at a fixed sweep point (Figure 4)."""
+
+    name = "sweep"
+
+    def __init__(self, execute_point):
+        self.execute = execute_point
+
+    def access_point(self, profile, config):
+        return config.fmin
+
+    def execute_point(self, profile, config):
+        return self.execute
+
+
+def figure4_series(run: WorkloadRun,
+                   config: Optional[MachineConfig] = None
+                   ) -> list[Figure4Series]:
+    """Figure 4 for one workload: CAE, Manual DAE and Auto DAE as the
+    execute frequency sweeps fmin→fmax (access pinned at fmin)."""
+    config = config or MachineConfig()
+    series = []
+    for label, stream, scheme in (
+        ("CAE", "cae", "cae"),
+        ("Manual DAE", "manual", "dae"),
+        ("Auto DAE", "dae", "dae"),
+    ):
+        entry = Figure4Series(label=label)
+        for point in config.operating_points:
+            scheduler = DAEScheduler(config)
+            if scheme == "cae":
+                policy: FrequencyPolicy = FixedPolicy(point)
+            else:
+                policy = _SweepPolicy(point)
+            result = scheduler.run(run.profiles[stream].tasks, scheme, policy)
+            buckets = result.buckets
+            entry.points.append(Figure4Point(
+                freq_ghz=point.freq_ghz,
+                prefetch_ns=buckets.prefetch_ns,
+                task_ns=buckets.task_ns,
+                osi_ns=buckets.osi_ns,
+                prefetch_nj=buckets.prefetch_nj,
+                task_nj=buckets.task_nj,
+                osi_nj=buckets.osi_nj,
+            ))
+        series.append(entry)
+    return series
+
+
+#: The three Figure 4 case studies (Section 6.2).
+FIGURE4_WORKLOADS = ("cholesky", "fft", "libq")
+
+
+# -- headline scalars (Section 6.1) --------------------------------------------
+
+
+@dataclass
+class HeadlineNumbers:
+    """Geomean EDP improvements and time penalty at both latencies."""
+
+    auto_edp_gain_500ns: float
+    manual_edp_gain_500ns: float
+    auto_edp_gain_0ns: float
+    manual_edp_gain_0ns: float
+    auto_time_penalty_500ns: float
+    auto_time_penalty_0ns: float
+
+
+def headline_numbers(runs: dict[str, WorkloadRun],
+                     config: Optional[MachineConfig] = None) -> HeadlineNumbers:
+    config = config or MachineConfig()
+    zero_latency = replace(config, dvfs_transition_ns=0.0)
+
+    def geomean_ratios(cfg: MachineConfig, stream: str):
+        times, edps = [], []
+        for run in runs.values():
+            scheduler = DAEScheduler(cfg)
+            base = scheduler.run(
+                run.profiles["cae"].tasks, "cae", FixedPolicy(cfg.fmax)
+            )
+            result = scheduler.run(
+                run.profiles[stream].tasks, "dae", OptimalEDPPolicy()
+            )
+            times.append(result.time_ns / base.time_ns)
+            edps.append(result.edp_js / base.edp_js)
+        gm = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+        return gm(times), gm(edps)
+
+    auto_t_500, auto_d_500 = geomean_ratios(config, "dae")
+    man_t_500, man_d_500 = geomean_ratios(config, "manual")
+    auto_t_0, auto_d_0 = geomean_ratios(zero_latency, "dae")
+    man_t_0, man_d_0 = geomean_ratios(zero_latency, "manual")
+    return HeadlineNumbers(
+        auto_edp_gain_500ns=1.0 - auto_d_500,
+        manual_edp_gain_500ns=1.0 - man_d_500,
+        auto_edp_gain_0ns=1.0 - auto_d_0,
+        manual_edp_gain_0ns=1.0 - man_d_0,
+        auto_time_penalty_500ns=auto_t_500 - 1.0,
+        auto_time_penalty_0ns=auto_t_0 - 1.0,
+    )

@@ -1,0 +1,12 @@
+"""Frontend for the task language: lexer, parser and AST→IR lowering."""
+
+from .ast import Program
+from .lexer import LexError, Token, tokenize
+from .lower import LoweringError, compile_source, lower_program
+from .parser import ParseError, parse
+
+__all__ = [
+    "Program", "LexError", "Token", "tokenize",
+    "LoweringError", "compile_source", "lower_program",
+    "ParseError", "parse",
+]

@@ -1,0 +1,174 @@
+"""Abstract syntax tree of the task language.
+
+The task language is a small C-like language: enough to express the
+paper's benchmark kernels (affine loop nests, pointer chasing,
+data-dependent control flow, calls) without a full C frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    """Base class for AST nodes; carries the source line for diagnostics."""
+
+    line: int = field(default=0, compare=False)
+
+
+# -- types (surface syntax) -----------------------------------------------------
+
+
+@dataclass
+class TypeName(Node):
+    """A surface type: base name plus pointer depth (``f64*`` -> depth 1)."""
+
+    name: str = ""
+    pointer_depth: int = 0
+
+    def __str__(self) -> str:
+        return self.name + "*" * self.pointer_depth
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]`` — a load when read, an address when assigned to."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CastExpr(Expr):
+    target: TypeName = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: TypeName = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a Name or IndexExpr."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """C-style counted loop: ``for (init; cond; step) body``."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class PrefetchStmt(Stmt):
+    """``prefetch(A[e]);`` — used by hand-written (Manual DAE) access tasks."""
+
+    address: Expr = None  # type: ignore[assignment]
+
+
+# -- declarations ------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type: TypeName = None  # type: ignore[assignment]
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    return_type: Optional[TypeName] = None
+    body: list[Stmt] = field(default_factory=list)
+    is_task: bool = False
+
+
+@dataclass
+class Program(Node):
+    functions: list[FunctionDecl] = field(default_factory=list)

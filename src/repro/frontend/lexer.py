@@ -1,0 +1,97 @@
+"""Tokenizer for the task language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class LexError(Exception):
+    """Raised on input the tokenizer cannot classify."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'float' | 'punct' | 'keyword' | 'eof'
+    text: str
+    line: int
+
+
+KEYWORDS = {
+    "task", "func", "var", "if", "else", "for", "while", "return",
+    "prefetch",
+}
+
+# Multi-character punctuation must be matched before single characters.
+PUNCTUATION = [
+    "&&", "||", "==", "!=", "<=", ">=", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "&", "|", "^",
+]
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; returns tokens ending with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment at line %d" % line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise LexError("malformed number at line %d" % line)
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            yield Token("float" if is_float else "int", source[i:j], line)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line)
+            i = j
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                yield Token("punct", punct, line)
+                i += len(punct)
+                break
+        else:
+            raise LexError("unexpected character %r at line %d" % (ch, line))
+    yield Token("eof", "", line)

@@ -1,0 +1,296 @@
+"""Recursive-descent parser for the task language.
+
+Grammar (informal):
+
+    program   := decl*
+    decl      := ("task" | "func") ident "(" params ")" ("->" type)? block
+    params    := (ident ":" type ("," ident ":" type)*)?
+    type      := ("i32" | "i64" | "f32" | "f64") "*"*
+    block     := "{" stmt* "}"
+    stmt      := "var" ident ":" type ("=" expr)? ";"
+               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "while" "(" expr ")" block
+               | "return" expr? ";"
+               | "prefetch" "(" expr ")" ";"
+               | simple ";"
+    simple    := lvalue "=" expr | expr
+    expr      := or-chain of comparisons over additive/multiplicative terms
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending line number."""
+
+
+_BASE_TYPES = {"i32", "i64", "f32", "f64", "i8"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        return self.cur.kind == kind and (text is None or self.cur.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            raise ParseError(
+                "line %d: expected %s%s, found %r"
+                % (self.cur.line, kind, " %r" % text if text else "", self.cur.text)
+            )
+        return self.advance()
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self.check("eof"):
+            functions.append(self.parse_function())
+        return ast.Program(functions=functions)
+
+    def parse_function(self) -> ast.FunctionDecl:
+        line = self.cur.line
+        if self.accept("keyword", "task"):
+            is_task = True
+        else:
+            self.expect("keyword", "func")
+            is_task = False
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params = []
+        while not self.check("punct", ")"):
+            if params:
+                self.expect("punct", ",")
+            pline = self.cur.line
+            pname = self.expect("ident").text
+            self.expect("punct", ":")
+            ptype = self.parse_type()
+            params.append(ast.Param(line=pline, name=pname, type=ptype))
+        self.expect("punct", ")")
+        return_type = None
+        if self.accept("punct", "->"):
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FunctionDecl(
+            line=line, name=name, params=params, return_type=return_type,
+            body=body, is_task=is_task,
+        )
+
+    def parse_type(self) -> ast.TypeName:
+        line = self.cur.line
+        tok = self.expect("ident")
+        if tok.text not in _BASE_TYPES:
+            raise ParseError("line %d: unknown type %r" % (tok.line, tok.text))
+        depth = 0
+        while self.accept("punct", "*"):
+            depth += 1
+        return ast.TypeName(line=line, name=tok.text, pointer_depth=depth)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("punct", "{")
+        stmts = []
+        while not self.check("punct", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return stmts
+
+    def parse_stmt(self) -> ast.Stmt:
+        line = self.cur.line
+        if self.accept("keyword", "var"):
+            name = self.expect("ident").text
+            self.expect("punct", ":")
+            ty = self.parse_type()
+            init = None
+            if self.accept("punct", "="):
+                init = self.parse_expr()
+            self.expect("punct", ";")
+            return ast.VarDecl(line=line, name=name, type=ty, init=init)
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.accept("keyword", "for"):
+            self.expect("punct", "(")
+            init = None if self.check("punct", ";") else self.parse_simple()
+            self.expect("punct", ";")
+            cond = None if self.check("punct", ";") else self.parse_expr()
+            self.expect("punct", ";")
+            step = None if self.check("punct", ")") else self.parse_simple()
+            self.expect("punct", ")")
+            body = self.parse_block()
+            return ast.For(line=line, init=init, cond=cond, step=step, body=body)
+        if self.accept("keyword", "while"):
+            self.expect("punct", "(")
+            cond = self.parse_expr()
+            self.expect("punct", ")")
+            body = self.parse_block()
+            return ast.While(line=line, cond=cond, body=body)
+        if self.accept("keyword", "return"):
+            value = None if self.check("punct", ";") else self.parse_expr()
+            self.expect("punct", ";")
+            return ast.Return(line=line, value=value)
+        if self.accept("keyword", "prefetch"):
+            self.expect("punct", "(")
+            address = self.parse_expr()
+            self.expect("punct", ")")
+            self.expect("punct", ";")
+            return ast.PrefetchStmt(line=line, address=address)
+        stmt = self.parse_simple()
+        self.expect("punct", ";")
+        return stmt
+
+    def parse_if(self) -> ast.If:
+        line = self.cur.line
+        self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def parse_simple(self) -> ast.Stmt:
+        """Assignment or bare expression (no trailing semicolon)."""
+        line = self.cur.line
+        expr = self.parse_expr()
+        if self.accept("punct", "="):
+            if not isinstance(expr, (ast.Name, ast.IndexExpr)):
+                raise ParseError("line %d: invalid assignment target" % line)
+            value = self.parse_expr()
+            return ast.Assign(line=line, target=expr, value=value)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        expr = self.parse_and()
+        while self.check("punct", "||"):
+            line = self.advance().line
+            rhs = self.parse_and()
+            expr = ast.BinaryExpr(line=line, op="||", lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_and(self) -> ast.Expr:
+        expr = self.parse_comparison()
+        while self.check("punct", "&&"):
+            line = self.advance().line
+            rhs = self.parse_comparison()
+            expr = ast.BinaryExpr(line=line, op="&&", lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_comparison(self) -> ast.Expr:
+        expr = self.parse_additive()
+        while self.cur.kind == "punct" and self.cur.text in (
+            "==", "!=", "<", "<=", ">", ">=",
+        ):
+            tok = self.advance()
+            rhs = self.parse_additive()
+            expr = ast.BinaryExpr(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_additive(self) -> ast.Expr:
+        expr = self.parse_multiplicative()
+        while self.cur.kind == "punct" and self.cur.text in ("+", "-", "&", "|", "^"):
+            tok = self.advance()
+            rhs = self.parse_multiplicative()
+            expr = ast.BinaryExpr(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_multiplicative(self) -> ast.Expr:
+        expr = self.parse_unary()
+        while self.cur.kind == "punct" and self.cur.text in ("*", "/", "%"):
+            tok = self.advance()
+            rhs = self.parse_unary()
+            expr = ast.BinaryExpr(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        if self.cur.kind == "punct" and self.cur.text in ("-", "!"):
+            tok = self.advance()
+            operand = self.parse_unary()
+            return ast.UnaryExpr(line=tok.line, op=tok.text, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.check("punct", "["):
+                line = self.advance().line
+                index = self.parse_expr()
+                self.expect("punct", "]")
+                expr = ast.IndexExpr(line=line, base=expr, index=index)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLiteral(line=tok.line, value=int(tok.text))
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(line=tok.line, value=float(tok.text))
+        if tok.kind == "ident":
+            # Either a cast "(ty) expr" is handled below; names may be calls.
+            self.advance()
+            if self.accept("punct", "("):
+                args = []
+                while not self.check("punct", ")"):
+                    if args:
+                        self.expect("punct", ",")
+                    args.append(self.parse_expr())
+                self.expect("punct", ")")
+                return ast.CallExpr(line=tok.line, callee=tok.text, args=args)
+            return ast.Name(line=tok.line, ident=tok.text)
+        if tok.kind == "punct" and tok.text == "(":
+            self.advance()
+            # Cast syntax: "(f64) expr".
+            if self.cur.kind == "ident" and self.cur.text in _BASE_TYPES:
+                save = self.pos
+                ty = self.parse_type()
+                if self.accept("punct", ")"):
+                    operand = self.parse_unary()
+                    return ast.CastExpr(line=tok.line, target=ty, operand=operand)
+                self.pos = save
+            expr = self.parse_expr()
+            self.expect("punct", ")")
+            return expr
+        raise ParseError("line %d: unexpected token %r" % (tok.line, tok.text))
+
+
+def parse(source: str) -> ast.Program:
+    """Parse task-language ``source`` into an AST program."""
+    return Parser(source).parse_program()

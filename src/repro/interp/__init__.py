@@ -1,0 +1,15 @@
+"""IR interpreter and simulated memory."""
+
+from .interpreter import (
+    UNDEF,
+    ExecutionTrace,
+    InterpError,
+    Interpreter,
+    MemoryEvent,
+)
+from .memory import Allocation, MemoryError_, SimMemory
+
+__all__ = [
+    "UNDEF", "ExecutionTrace", "InterpError", "Interpreter", "MemoryEvent",
+    "Allocation", "MemoryError_", "SimMemory",
+]

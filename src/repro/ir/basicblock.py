@@ -1,0 +1,79 @@
+"""Basic blocks and their instruction lists."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .instructions import Instruction, Phi, Terminator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: list[Instruction] = []
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Terminator]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]  # type: ignore[return-value]
+        return None
+
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term is not None else []
+
+    def predecessors(self) -> list["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [b for b in self.parent.blocks if self in b.successors()]
+
+    def phis(self) -> list[Phi]:
+        return [i for i in self.instructions if isinstance(i, Phi)]
+
+    def non_phi_instructions(self) -> list[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    # -- mutation -------------------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise ValueError("appending past terminator in block %s" % self.name)
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert_front(self, inst: Instruction) -> Instruction:
+        """Insert after any leading phis (used for allocas and phi lowering)."""
+        idx = len(self.phis()) if not isinstance(inst, Phi) else 0
+        inst.parent = self
+        self.instructions.insert(idx, inst)
+        return inst
+
+    def insert_before(self, inst: Instruction, before: Instruction) -> Instruction:
+        idx = self.instructions.index(before)
+        inst.parent = self
+        self.instructions.insert(idx, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    # -- iteration ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(list(self.instructions))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return "<BasicBlock %%%s (%d insts)>" % (self.name, len(self.instructions))

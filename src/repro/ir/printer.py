@@ -1,0 +1,29 @@
+"""Textual dump of IR modules and functions (for tests and debugging)."""
+
+from __future__ import annotations
+
+from .function import Function, Module
+
+
+def format_function(func: Function) -> str:
+    args = ", ".join("%r %%%s" % (a.type, a.name) for a in func.args)
+    head = "%stask" if func.is_task else "%sfunc"
+    head = head % ""
+    lines = ["%s @%s(%s) -> %r {" % (head, func.name, args, func.return_type)]
+    for block in func.blocks:
+        lines.append("%s:" % block.name)
+        for inst in block.instructions:
+            lines.append("  %s" % inst.format())
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = []
+    for gv in module.globals.values():
+        parts.append(
+            "global @%s : %r x %d" % (gv.name, gv.value_type, gv.size_elems)
+        )
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,127 @@
+"""Type system for the repro IR.
+
+The IR is deliberately small: integers, floats, pointers and void cover
+everything the task language needs.  Types are immutable value objects;
+two structurally equal types compare (and hash) equal, so passes can use
+them as dictionary keys.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size of a value of this type, in bytes."""
+        raise NotImplementedError
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    @property
+    def size_bytes(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width signed integer (i1 doubles as boolean)."""
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError("unsupported integer width: %d" % bits)
+        self.bits = bits
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    @property
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    def __repr__(self) -> str:
+        return "i%d" % self.bits
+
+
+class FloatType(Type):
+    """An IEEE float; only 32- and 64-bit variants exist."""
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError("unsupported float width: %d" % bits)
+        self.bits = bits
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    def __repr__(self) -> str:
+        return "f%d" % self.bits
+
+
+class PointerType(Type):
+    """A pointer to values of ``pointee`` type.
+
+    Pointers are 8 bytes, matching the x86-64 target the paper profiles.
+    """
+
+    def __init__(self, pointee: Type):
+        if pointee.is_void():
+            raise ValueError("pointer to void is not allowed; use i8*")
+        self.pointee = pointee
+
+    def _key(self) -> tuple:
+        return (self.pointee,)
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+    def __repr__(self) -> str:
+        return "%r*" % self.pointee
+
+
+# Shared singleton-ish instances (types compare structurally, so these are
+# only a convenience, not a requirement).
+VOID = VoidType()
+BOOL = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Return the pointer type to ``pointee``."""
+    return PointerType(pointee)

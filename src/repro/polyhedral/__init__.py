@@ -1,0 +1,36 @@
+"""Polyhedral model substrate (PolyLib equivalent).
+
+Exact-rational affine expressions, H-representation polyhedra with
+Fourier–Motzkin projection, Chernikova double description for H↔V
+conversion and convex union, Ehrhart-style parametric counting, and
+loop-nest code generation from polyhedra.
+"""
+
+from .affine import AffineExpr, Constraint
+from .chernikova import convex_union, double_description, from_generators, generators
+from .codegen import (
+    Bound,
+    CodegenError,
+    LoopSpec,
+    ScanNest,
+    generate_scan_nest,
+    nests_mergeable,
+)
+from .counting import (
+    EhrhartPolynomial,
+    count_polynomial,
+    counts_dominate,
+    interpolate_count,
+    union_count_polynomial,
+)
+from .polyhedron import Polyhedron, union_count, union_enumerate
+
+__all__ = [
+    "AffineExpr", "Constraint",
+    "convex_union", "double_description", "from_generators", "generators",
+    "Bound", "CodegenError", "LoopSpec", "ScanNest",
+    "generate_scan_nest", "nests_mergeable",
+    "EhrhartPolynomial", "count_polynomial", "counts_dominate",
+    "interpolate_count", "union_count_polynomial",
+    "Polyhedron", "union_count", "union_enumerate",
+]

@@ -1,0 +1,249 @@
+"""Double description (Chernikova's algorithm): H-rep ↔ V-rep.
+
+This is the core of PolyLib, which the paper uses to manipulate
+polyhedra (Section 4).  We implement the classic incremental double
+description method with the combinatorial adjacency test, over exact
+rationals, and build the two conversions on top:
+
+* :func:`generators` — constraints → (vertices, rays, lines) via the
+  homogenization ``{(x, λ) | A·x + b·λ ≥ 0, λ ≥ 0}``;
+* :func:`from_generators` — (vertices, rays, lines) → constraints by
+  running the same algorithm on the polar cone;
+* :func:`convex_union` — hull of a union of polyhedra by pooling their
+  generators (Section 5.1.2's "convex union of accesses").
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .affine import AffineExpr, Constraint
+from .polyhedron import Polyhedron
+
+Vector = tuple  # tuple[Fraction, ...]
+
+
+def _dot(a: Vector, b: Vector) -> Fraction:
+    return sum((x * y for x, y in zip(a, b)), Fraction(0))
+
+
+def _scale(v: Vector, f: Fraction) -> Vector:
+    return tuple(x * f for x in v)
+
+
+def _sub(a: Vector, b: Vector) -> Vector:
+    return tuple(x - y for x, y in zip(a, b))
+
+
+def _normalize(v: Vector) -> Vector:
+    """Divide by the GCD of numerators / LCM of denominators."""
+    lcm = 1
+    for x in v:
+        d = x.denominator
+        g = _gcd(lcm, d)
+        lcm = lcm * d // g
+    ints = [int(x * lcm) for x in v]
+    g = 0
+    for x in ints:
+        g = _gcd(g, abs(x))
+    if g == 0:
+        return tuple(Fraction(0) for _ in v)
+    return tuple(Fraction(x, g) for x in ints)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+class _Ray:
+    __slots__ = ("vec", "sat")
+
+    def __init__(self, vec: Vector, sat: frozenset):
+        self.vec = _normalize(vec)
+        self.sat = sat
+
+
+def double_description(rows: Sequence[tuple[Vector, bool]], dim: int):
+    """Generators (lines, rays) of ``{x | a·x >= 0 (or == 0) for rows}``.
+
+    ``rows`` is a list of ``(coefficient_vector, is_equality)``.
+    Returns ``(lines, rays)`` as lists of normalized vectors.
+    """
+    lines: list[Vector] = [
+        tuple(Fraction(1 if i == j else 0) for j in range(dim))
+        for i in range(dim)
+    ]
+    rays: list[_Ray] = []
+
+    for idx, (a, is_eq) in enumerate(rows):
+        prods = [_dot(a, l) for l in lines]
+        pivot = next((i for i, p in enumerate(prods) if p != 0), None)
+        if pivot is not None:
+            l0 = lines.pop(pivot)
+            p0 = prods[pivot]
+            if p0 < 0:
+                l0 = _scale(l0, Fraction(-1))
+                p0 = -p0
+            lines = [
+                _normalize(_sub(l, _scale(l0, _dot(a, l) / p0))) for l in lines
+            ]
+            for ray in rays:
+                shift = _dot(a, ray.vec) / p0
+                ray.vec = _normalize(_sub(ray.vec, _scale(l0, shift)))
+                ray.sat = ray.sat | {idx}
+            if not is_eq:
+                rays.append(_Ray(l0, frozenset(range(idx))))
+            continue
+
+        pos = [r for r in rays if _dot(a, r.vec) > 0]
+        neg = [r for r in rays if _dot(a, r.vec) < 0]
+        zero = [r for r in rays if _dot(a, r.vec) == 0]
+        for r in zero:
+            r.sat = r.sat | {idx}
+
+        new_rays: list[_Ray] = []
+        for rp in pos:
+            dp = _dot(a, rp.vec)
+            for rn in neg:
+                if not _adjacent(rp, rn, rays):
+                    continue
+                dn = _dot(a, rn.vec)
+                vec = _sub(_scale(rn.vec, dp), _scale(rp.vec, dn))
+                new_rays.append(_Ray(vec, (rp.sat & rn.sat) | {idx}))
+
+        if is_eq:
+            rays = zero + new_rays
+        else:
+            rays = pos + zero + new_rays
+        rays = _dedupe(rays)
+
+    return lines, [r.vec for r in rays]
+
+
+def _adjacent(r1: _Ray, r2: _Ray, rays: list[_Ray]) -> bool:
+    common = r1.sat & r2.sat
+    for other in rays:
+        if other is r1 or other is r2:
+            continue
+        if common <= other.sat:
+            return False
+    return True
+
+
+def _dedupe(rays: list[_Ray]) -> list[_Ray]:
+    seen: dict[Vector, _Ray] = {}
+    for ray in rays:
+        existing = seen.get(ray.vec)
+        if existing is None:
+            seen[ray.vec] = ray
+        else:
+            existing.sat = existing.sat | ray.sat
+    return list(seen.values())
+
+
+# -- polyhedron-level conversions ------------------------------------------------
+
+
+def _constraint_rows(poly: Polyhedron, syms: list[str]):
+    """Homogenized rows over (syms..., λ), plus λ >= 0."""
+    rows: list[tuple[Vector, bool]] = []
+    for con in poly.constraints:
+        vec = tuple(con.expr.coeff(s) for s in syms) + (con.expr.const,)
+        rows.append((vec, con.is_equality))
+    lam = tuple([Fraction(0)] * len(syms)) + (Fraction(1),)
+    rows.append((lam, False))
+    return rows
+
+
+def generators(poly: Polyhedron):
+    """(vertices, rays, lines) of the polyhedron over dims+params.
+
+    Each returned vector is ordered like ``poly.dims + poly.params``.
+    Vertices may have rational coordinates (polyhedral, not integer hull).
+    """
+    syms = list(poly.dims) + list(poly.params)
+    rows = _constraint_rows(poly, syms)
+    lines, rays = double_description(rows, len(syms) + 1)
+
+    vertices: list[Vector] = []
+    recession: list[Vector] = []
+    free_lines: list[Vector] = []
+    for line in lines:
+        x, lam = line[:-1], line[-1]
+        if lam != 0:
+            # A line with λ-component hides a vertex and a line; split it
+            # into two opposite rays for classification.
+            rays = rays + [line, _scale(line, Fraction(-1))]
+        else:
+            if any(c != 0 for c in x):
+                free_lines.append(tuple(x))
+    for ray in rays:
+        x, lam = ray[:-1], ray[-1]
+        if lam > 0:
+            vertices.append(tuple(c / lam for c in x))
+        elif lam == 0:
+            if any(c != 0 for c in x):
+                recession.append(_normalize(tuple(x)))
+        # λ < 0 cannot satisfy the λ ≥ 0 row.
+    # Dedupe.
+    vertices = list(dict.fromkeys(vertices))
+    recession = list(dict.fromkeys(recession))
+    free_lines = list(dict.fromkeys(free_lines))
+    return vertices, recession, free_lines
+
+
+def from_generators(dims: Sequence[str], vertices: Iterable[Vector],
+                    rays: Iterable[Vector] = (), lines: Iterable[Vector] = (),
+                    params: Sequence[str] = ()) -> Polyhedron:
+    """Constraint representation of conv(vertices) + cone(rays) + span(lines)."""
+    syms = list(dims) + list(params)
+    n = len(syms) + 1
+    rows: list[tuple[Vector, bool]] = []
+    for v in vertices:
+        rows.append((tuple(Fraction(c) for c in v) + (Fraction(1),), False))
+    for r in rays:
+        rows.append((tuple(Fraction(c) for c in r) + (Fraction(0),), False))
+    for l in lines:
+        rows.append((tuple(Fraction(c) for c in l) + (Fraction(0),), True))
+    if not rows:
+        # Empty generator set: the empty polyhedron (0 >= 1).
+        return Polyhedron(dims, [Constraint.ge(AffineExpr.constant(-1))], params)
+
+    # Rays of the polar cone are the facets of our cone.
+    polar_lines, polar_rays = double_description(rows, n)
+
+    constraints: list[Constraint] = []
+    for vec, is_eq in [(v, True) for v in polar_lines] + [
+        (v, False) for v in polar_rays
+    ]:
+        coeffs = {s: vec[i] for i, s in enumerate(syms) if vec[i] != 0}
+        const = vec[-1]
+        if not coeffs:
+            continue  # trivial (covers the λ >= 0 facet)
+        constraints.append(
+            Constraint(AffineExpr(coeffs, const), is_equality=is_eq)
+        )
+    return Polyhedron(dims, constraints, params)
+
+
+def convex_union(polys: Sequence[Polyhedron]) -> Polyhedron:
+    """Convex hull of the union (Section 5.1.2), exact over the rationals."""
+    if not polys:
+        raise ValueError("convex_union of no polyhedra")
+    dims = polys[0].dims
+    params = list(dict.fromkeys(p for poly in polys for p in poly.params))
+    all_vertices: list[Vector] = []
+    all_rays: list[Vector] = []
+    all_lines: list[Vector] = []
+    for poly in polys:
+        if poly.dims != dims:
+            raise ValueError("convex_union dimension mismatch")
+        aligned = Polyhedron(dims, poly.constraints, params)
+        v, r, l = generators(aligned)
+        all_vertices.extend(v)
+        all_rays.extend(r)
+        all_lines.extend(l)
+    return from_generators(dims, all_vertices, all_rays, all_lines, params)

@@ -1,0 +1,263 @@
+"""H-representation polyhedra with Fourier–Motzkin projection.
+
+A :class:`Polyhedron` is a conjunction of affine constraints over an
+ordered list of *set dimensions* plus free *parameters*.  This is the
+workhorse of the affine access analysis: iteration domains, per-
+instruction access sets and their projections all live here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .affine import AffineExpr, Constraint, Number
+
+
+class Polyhedron:
+    """``{ dims | constraints(dims, params) }``."""
+
+    def __init__(self, dims: Sequence[str], constraints: Iterable[Constraint] = (),
+                 params: Sequence[str] = ()):
+        self.dims = list(dims)
+        self.params = list(params)
+        self.constraints: list[Constraint] = []
+        seen: set[Constraint] = set()
+        for con in constraints:
+            extra = con.symbols() - set(self.dims) - set(self.params)
+            if extra:
+                raise ValueError("constraint mentions unknown symbols %r" % extra)
+            if con not in seen:
+                seen.add(con)
+                self.constraints.append(con)
+
+    # -- basic ops ---------------------------------------------------------------
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "Polyhedron":
+        return Polyhedron(self.dims, list(self.constraints) + list(extra), self.params)
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        if self.dims != other.dims:
+            raise ValueError("dimension mismatch in intersection")
+        params = list(dict.fromkeys(self.params + other.params))
+        return Polyhedron(
+            self.dims, list(self.constraints) + list(other.constraints), params
+        )
+
+    def with_param_values(self, values: Mapping[str, Number]) -> "Polyhedron":
+        """Substitute concrete values for (some) parameters."""
+        def subst(expr: AffineExpr) -> AffineExpr:
+            result = expr
+            for sym, value in values.items():
+                result = result.substitute(sym, AffineExpr.constant(value))
+            return result
+
+        return Polyhedron(
+            self.dims,
+            [Constraint(subst(c.expr), c.is_equality) for c in self.constraints],
+            [p for p in self.params if p not in values],
+        )
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "Polyhedron":
+        def rename_expr(expr: AffineExpr) -> AffineExpr:
+            return AffineExpr(
+                {mapping.get(s, s): c for s, c in expr.coeffs.items()}, expr.const
+            )
+
+        return Polyhedron(
+            [mapping.get(d, d) for d in self.dims],
+            [Constraint(rename_expr(c.expr), c.is_equality) for c in self.constraints],
+            [mapping.get(p, p) for p in self.params],
+        )
+
+    # -- Fourier–Motzkin ------------------------------------------------------------
+
+    def eliminate(self, sym: str) -> "Polyhedron":
+        """Project out one dimension (exact over the rationals)."""
+        if sym not in self.dims:
+            raise ValueError("%r is not a set dimension" % sym)
+
+        # Prefer substitution through an equality: exact over the integers.
+        for con in self.constraints:
+            if con.is_equality and con.expr.coeff(sym) != 0:
+                c = con.expr.coeff(sym)
+                # sym = -(rest)/c
+                replacement = (con.expr.drop(sym)) * Fraction(-1, 1) * Fraction(1, c)
+                new_constraints = [
+                    Constraint(k.expr.substitute(sym, replacement), k.is_equality)
+                    for k in self.constraints
+                    if k is not con
+                ]
+                dims = [d for d in self.dims if d != sym]
+                return Polyhedron(dims, new_constraints, self.params)
+
+        lowers, uppers, neutral = [], [], []
+        for con in self.constraints:
+            c = con.expr.coeff(sym)
+            if con.is_equality:
+                if c != 0:
+                    raise AssertionError("equality handled above")
+                neutral.append(con)
+            elif c > 0:
+                lowers.append(con)  # c*sym + rest >= 0  →  sym >= -rest/c
+            elif c < 0:
+                uppers.append(con)  # sym <= rest/(-c)
+            else:
+                neutral.append(con)
+
+        new_constraints = list(neutral)
+        for lo in lowers:
+            for hi in uppers:
+                cl = lo.expr.coeff(sym)
+                ch = -hi.expr.coeff(sym)
+                # cl*sym >= -(lo rest); ch*sym <= (hi rest)
+                combined = lo.expr.drop(sym) * ch + hi.expr.drop(sym) * cl
+                new_constraints.append(Constraint(combined))
+        dims = [d for d in self.dims if d != sym]
+        return Polyhedron(dims, new_constraints, self.params)
+
+    def project_onto(self, keep: Sequence[str]) -> "Polyhedron":
+        result = self
+        for sym in [d for d in self.dims if d not in keep]:
+            result = result.eliminate(sym)
+        # Restore requested dimension order.
+        return Polyhedron(
+            [d for d in keep if d in result.dims], result.constraints, result.params
+        )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Rational emptiness via full FM elimination."""
+        poly = self
+        for sym in list(poly.dims) + list(poly.params):
+            if sym in poly.dims:
+                poly = poly.eliminate(sym)
+            else:
+                poly = Polyhedron(
+                    list(poly.dims) + [sym], poly.constraints,
+                    [p for p in poly.params if p != sym],
+                ).eliminate(sym)
+        for con in poly.constraints:
+            value = con.expr.const
+            if con.is_equality and value != 0:
+                return True
+            if not con.is_equality and value < 0:
+                return True
+        return False
+
+    def contains(self, point: Mapping[str, Number]) -> bool:
+        return all(con.satisfied_by(point) for con in self.constraints)
+
+    def bounds_for(self, sym: str, fixed: Mapping[str, Number]):
+        """Integer (lo, hi) range of ``sym`` with every other symbol fixed.
+
+        Returns None when unbounded in either direction or infeasible data.
+        """
+        lo: Optional[Fraction] = None
+        hi: Optional[Fraction] = None
+        for con in self.constraints:
+            c = con.expr.coeff(sym)
+            if c == 0:
+                continue
+            rest = con.expr.drop(sym).evaluate(fixed)
+            if con.is_equality:
+                value = -rest / c
+                lo = value if lo is None or value > lo else lo
+                hi = value if hi is None or value < hi else hi
+            elif c > 0:  # sym >= -rest/c
+                value = -rest / c
+                lo = value if lo is None or value > lo else lo
+            else:  # sym <= rest/(-c)
+                value = rest / (-c)
+                hi = value if hi is None or value < hi else hi
+        if lo is None or hi is None:
+            return None
+        import math
+
+        return math.ceil(lo), math.floor(hi)
+
+    def enumerate_points(self, param_values: Mapping[str, Number],
+                         limit: int = 2_000_000):
+        """Yield all integer points for fixed parameter values.
+
+        Points are yielded as tuples ordered like ``self.dims``.  Raises
+        ``ValueError`` if the region is unbounded or exceeds ``limit``.
+        Each level's bounds come from the Fourier–Motzkin projection onto
+        the outer dimensions, so equality-linked dimensions (e.g. a
+        diagonal access ``s0 == s1``) enumerate correctly.
+        """
+        # levels[i] bounds dims[i] given dims[0..i-1]: project away the
+        # inner dimensions with FM, innermost first.
+        levels: list[Polyhedron] = [None] * len(self.dims)  # type: ignore[list-item]
+        working = self
+        for level in range(len(self.dims) - 1, -1, -1):
+            levels[level] = working
+            working = working.eliminate(self.dims[level])
+
+        emitted = 0
+
+        def recurse(index: int, fixed: dict):
+            nonlocal emitted
+            if index == len(self.dims):
+                emitted += 1
+                if emitted > limit:
+                    raise ValueError("enumeration exceeded limit")
+                yield tuple(fixed[d] for d in self.dims)
+                return
+            sym = self.dims[index]
+            bounds = levels[index].bounds_for(sym, fixed)
+            if bounds is None:
+                raise ValueError(
+                    "dimension %r unbounded during enumeration" % sym
+                )
+            lo, hi = bounds
+            for v in range(lo, hi + 1):
+                fixed[sym] = v
+                if levels[index].contains(fixed):
+                    yield from recurse(index + 1, fixed)
+            fixed.pop(sym, None)
+
+        fixed0 = dict(param_values)
+        yield from recurse(0, fixed0)
+
+    def count_points(self, param_values: Mapping[str, Number],
+                     limit: int = 2_000_000) -> int:
+        return sum(1 for _ in self.enumerate_points(param_values, limit))
+
+    def __repr__(self) -> str:
+        cons = " and ".join(repr(c) for c in self.constraints) or "true"
+        return "{ [%s] : %s }" % (", ".join(self.dims), cons)
+
+
+def union_count(polys: Sequence[Polyhedron],
+                param_values: Mapping[str, Number]) -> int:
+    """|P1 ∪ ... ∪ Pn| by inclusion–exclusion over intersections.
+
+    All polyhedra must share the same dimension list.  This is the
+    Z-polytope union count the paper uses for ``NOrig`` (Section 5.1.1).
+    """
+    if not polys:
+        return 0
+    dims = polys[0].dims
+    total = 0
+    for r in range(1, len(polys) + 1):
+        sign = 1 if r % 2 == 1 else -1
+        for combo in itertools.combinations(polys, r):
+            inter = combo[0]
+            for poly in combo[1:]:
+                if poly.dims != dims:
+                    raise ValueError("union_count dimension mismatch")
+                inter = inter.intersect(poly)
+            total += sign * inter.count_points(param_values)
+    return total
+
+
+def union_enumerate(polys: Sequence[Polyhedron],
+                    param_values: Mapping[str, Number]) -> set:
+    """Exact set of integer points in the union (for testing/small sizes)."""
+    points: set = set()
+    for poly in polys:
+        points.update(poly.enumerate_points(param_values))
+    return points

@@ -1,0 +1,27 @@
+"""Power/energy/EDP model and frequency-selection policies."""
+
+from .frequency import (
+    FixedPolicy,
+    FrequencyPolicy,
+    MinMaxPolicy,
+    OptimalEDPPolicy,
+    optimal_edp_point,
+    phase_edp_at,
+)
+from .model import (
+    EnergyBreakdown,
+    dynamic_power,
+    edp,
+    effective_capacitance,
+    phase_energy,
+    static_power,
+    total_power,
+    transition_energy,
+)
+
+__all__ = [
+    "FixedPolicy", "FrequencyPolicy", "MinMaxPolicy", "OptimalEDPPolicy",
+    "optimal_edp_point", "phase_edp_at",
+    "EnergyBreakdown", "dynamic_power", "edp", "effective_capacitance",
+    "phase_energy", "static_power", "total_power", "transition_energy",
+]

@@ -1,0 +1,95 @@
+"""Frequency selection policies (Section 3.1).
+
+Two DAE policies from the paper plus the coupled baselines:
+
+* ``naive`` (Min/Max f): access phase at fmin, execute phase at fmax;
+* ``optimal EDP``: per-phase exhaustive search over operating points
+  using the power model ("since the focus of this work is to demonstrate
+  the potential of DAE, we perform an exhaustive search to select the
+  optimal frequency in terms of EDP" — Section 6.1);
+* coupled fixed-f and coupled optimal-f for the CAE baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.config import MachineConfig, OperatingPoint
+from ..sim.timing import PhaseProfile
+from .model import phase_energy, total_power
+
+
+def phase_edp_at(profile: PhaseProfile, point: OperatingPoint,
+                 config: MachineConfig) -> float:
+    """Local EDP of one phase at one operating point."""
+    time = profile.time_ns(point, config)
+    ipc = profile.ipc(point, config)
+    breakdown = phase_energy(time, point, ipc, config)
+    return (breakdown.energy_nj * 1e-9) * (time * 1e-9)
+
+
+def optimal_edp_point(profile: PhaseProfile,
+                      config: MachineConfig) -> OperatingPoint:
+    """Exhaustive search for the phase-local EDP-optimal frequency."""
+    best: Optional[OperatingPoint] = None
+    best_edp = float("inf")
+    for point in config.operating_points:
+        value = phase_edp_at(profile, point, config)
+        if value < best_edp:
+            best_edp = value
+            best = point
+    assert best is not None
+    return best
+
+
+class FrequencyPolicy:
+    """Chooses operating points for the access and execute phases."""
+
+    name = "abstract"
+
+    def access_point(self, profile: PhaseProfile,
+                     config: MachineConfig) -> OperatingPoint:
+        raise NotImplementedError
+
+    def execute_point(self, profile: PhaseProfile,
+                      config: MachineConfig) -> OperatingPoint:
+        raise NotImplementedError
+
+
+class MinMaxPolicy(FrequencyPolicy):
+    """Naive: lowest frequency for access, highest for execute."""
+
+    name = "minmax"
+
+    def access_point(self, profile, config):
+        return config.fmin
+
+    def execute_point(self, profile, config):
+        return config.fmax
+
+
+class OptimalEDPPolicy(FrequencyPolicy):
+    """Per-phase locally-EDP-optimal frequencies via exhaustive search."""
+
+    name = "optimal"
+
+    def access_point(self, profile, config):
+        return optimal_edp_point(profile, config)
+
+    def execute_point(self, profile, config):
+        return optimal_edp_point(profile, config)
+
+
+class FixedPolicy(FrequencyPolicy):
+    """Both phases at one fixed operating point (coupled baselines)."""
+
+    name = "fixed"
+
+    def __init__(self, point: OperatingPoint):
+        self.point = point
+
+    def access_point(self, profile, config):
+        return self.point
+
+    def execute_point(self, profile, config):
+        return self.point

@@ -1,0 +1,94 @@
+"""The paper's power model (Section 3.2).
+
+Effective capacitance is linear in IPC, calibrated on Sandy Bridge by
+Koukos et al. [14]:  ``Ceff = 0.19 * IPC + 1.64`` (nanofarads), giving
+
+    P_dynamic = Ceff * f * V^2            [W, with f in GHz]
+    P_static  = per-core linear in f*V    [W]
+    P_total   = sum over cores P_dynamic + P_static
+    Energy    = T * P_total
+    EDP       = T^2 * P_total
+
+The same model both evaluates the experiments and drives the runtime's
+optimal-EDP frequency selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import MachineConfig, OperatingPoint
+
+
+def effective_capacitance(ipc: float, config: MachineConfig) -> float:
+    """Ceff in nF as a linear function of IPC."""
+    return config.ceff_slope * ipc + config.ceff_base
+
+
+def dynamic_power(point: OperatingPoint, ipc: float,
+                  config: MachineConfig) -> float:
+    """Per-core dynamic power in watts (nF * GHz * V^2 = W)."""
+    ceff = effective_capacitance(ipc, config)
+    return ceff * point.freq_ghz * point.voltage ** 2
+
+
+def static_power(point: OperatingPoint, active_cores: int,
+                 config: MachineConfig) -> float:
+    """Static power: linear in voltage-frequency per active core."""
+    per_core = config.static_base_w + config.static_fv_w * (
+        point.freq_ghz * point.voltage
+    )
+    return per_core * active_cores
+
+
+def total_power(point: OperatingPoint, ipc: float, active_cores: int,
+                config: MachineConfig) -> float:
+    return dynamic_power(point, ipc, config) * active_cores + static_power(
+        point, active_cores, config
+    )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Time/energy of one phase or schedule segment."""
+
+    time_ns: float = 0.0
+    energy_nj: float = 0.0
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.time_ns + other.time_ns, self.energy_nj + other.energy_nj
+        )
+
+    @property
+    def power_w(self) -> float:
+        if self.time_ns <= 0.0:
+            return 0.0
+        return self.energy_nj / self.time_ns  # nJ/ns == W
+
+
+def phase_energy(time_ns: float, point: OperatingPoint, ipc: float,
+                 config: MachineConfig, active_cores: int = 1) -> EnergyBreakdown:
+    """Energy of one phase on ``active_cores`` cores (nJ = W * ns)."""
+    power = (
+        dynamic_power(point, ipc, config) * active_cores
+        + static_power(point, active_cores, config)
+    )
+    return EnergyBreakdown(time_ns=time_ns, energy_nj=power * time_ns)
+
+
+def transition_energy(config: MachineConfig, point: OperatingPoint,
+                      active_cores: int = 1) -> EnergyBreakdown:
+    """A DVFS switch: static energy only, no instructions retire.
+
+    "During each DVFS transition we count only the static energy, since
+    no instructions are executed." (Section 6.1)
+    """
+    time_ns = config.dvfs_transition_ns
+    power = static_power(point, active_cores, config)
+    return EnergyBreakdown(time_ns=time_ns, energy_nj=power * time_ns)
+
+
+def edp(time_ns: float, energy_nj: float) -> float:
+    """Energy-delay product in joule-seconds (SI)."""
+    return (energy_nj * 1e-9) * (time_ns * 1e-9)

@@ -1,0 +1,11 @@
+"""DAE task runtime: profiling, scheduling, DVFS policies."""
+
+from .profiler import ProfileError, StreamProfile, TaskStreamProfiler
+from .scheduler import DAEScheduler, ScheduleBuckets, ScheduleResult
+from .task import TaskInstance, TaskKind, TaskProfile
+
+__all__ = [
+    "ProfileError", "StreamProfile", "TaskStreamProfiler",
+    "DAEScheduler", "ScheduleBuckets", "ScheduleResult",
+    "TaskInstance", "TaskKind", "TaskProfile",
+]

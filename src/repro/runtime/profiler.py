@@ -1,0 +1,105 @@
+"""Task-stream profiling: interpreter + cache hierarchy → phase profiles.
+
+This is the stand-in for the paper's profiling runs on real hardware
+("we run all the applications at all available frequencies and profile
+the execution time of the access phases, execute phases, and the runtime
+overhead", Section 3.1).  Because the timing model separates
+frequency-scaled cycles from DRAM time, one simulation per execution
+scheme yields the whole time-vs-frequency curve.
+
+Execution schemes:
+
+* ``cae``   — each task runs only its execute version (coupled);
+* ``dae``   — access version first, execute immediately after, on the
+  same core, sharing the cache (so the execute phase runs warm);
+* ``manual`` — like ``dae`` but with the hand-written access version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..interp.interpreter import ExecutionTrace, Interpreter
+from ..interp.memory import SimMemory
+from ..sim.cache import AccessCounts, MachineCaches
+from ..sim.config import MachineConfig
+from ..sim.timing import PhaseProfile
+from .task import TaskInstance, TaskProfile
+
+
+class ProfileError(Exception):
+    """Raised when a task cannot be profiled under the chosen scheme."""
+
+
+@dataclass
+class StreamProfile:
+    """Profiles of a whole task stream under one scheme."""
+
+    scheme: str
+    tasks: list[TaskProfile] = field(default_factory=list)
+
+    def aggregate_execute(self) -> PhaseProfile:
+        total = PhaseProfile()
+        for task in self.tasks:
+            total = total.merged(task.execute)
+        return total
+
+    def aggregate_access(self) -> PhaseProfile:
+        total = PhaseProfile()
+        for task in self.tasks:
+            if task.access is not None:
+                total = total.merged(task.access)
+        return total
+
+
+class TaskStreamProfiler:
+    """Simulates a task stream through one core's cache hierarchy.
+
+    Tasks are interleaved across cores round-robin, mirroring the
+    scheduler's initial distribution, so each core's cache sees the
+    stream it will actually run.
+    """
+
+    def __init__(self, memory: SimMemory, config: Optional[MachineConfig] = None):
+        self.memory = memory
+        self.config = config or MachineConfig()
+
+    def profile(self, tasks: list[TaskInstance], scheme: str) -> StreamProfile:
+        if scheme not in ("cae", "dae", "manual"):
+            raise ProfileError("unknown scheme %r" % scheme)
+        caches = MachineCaches(self.config)
+        result = StreamProfile(scheme=scheme)
+        for index, instance in enumerate(tasks):
+            core = caches.cores[index % self.config.cores]
+            access_profile = None
+            if scheme in ("dae", "manual"):
+                access_fn = (
+                    instance.kind.access if scheme == "dae"
+                    else instance.kind.manual_access
+                )
+                if access_fn is not None:
+                    access_profile = self._run_phase(
+                        access_fn, instance.args, core
+                    )
+            execute_profile = self._run_phase(
+                instance.kind.execute, instance.args, core
+            )
+            result.tasks.append(
+                TaskProfile(
+                    instance=instance,
+                    execute=execute_profile,
+                    access=access_profile,
+                )
+            )
+        return result
+
+    def _run_phase(self, func, args, core) -> PhaseProfile:
+        counts = AccessCounts()
+
+        def observe(event):
+            core.access(event.address, event.kind, counts)
+
+        interp = Interpreter(self.memory, observer=observe)
+        trace = interp.run(func, args)
+        return PhaseProfile.from_run(trace, counts)

@@ -1,0 +1,207 @@
+"""DVFS-aware multicore task scheduler with work stealing (Section 3.1).
+
+"While the programmer is responsible for selecting the task granularity,
+the runtime handles task scheduling, running the access phase before the
+execute phase, load balancing through work stealing and power saving
+using sleep states and DVFS between each task phase."
+
+The scheduler replays profiled tasks on a discrete-time model of the
+quad core: each core consumes its own deque, steals from the fullest
+victim when empty, switches frequency between phases according to the
+active policy (paying the transition latency with static-only energy),
+and sleeps when no work is left.  The output is the total time/energy
+plus the Prefetch / Task / O.S.I. buckets of Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..power.frequency import FrequencyPolicy
+from ..power.model import phase_energy, static_power, transition_energy
+from ..sim.config import MachineConfig, OperatingPoint
+from .task import TaskProfile
+
+
+@dataclass
+class ScheduleBuckets:
+    """Figure 4's stacked components: Prefetch, Task, and O.S.I."""
+
+    prefetch_ns: float = 0.0   # access phases
+    task_ns: float = 0.0       # execute phases
+    osi_ns: float = 0.0        # overhead + sequential + idle
+    prefetch_nj: float = 0.0
+    task_nj: float = 0.0
+    osi_nj: float = 0.0
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduled run."""
+
+    scheme: str
+    policy: str
+    time_ns: float = 0.0
+    energy_nj: float = 0.0
+    buckets: ScheduleBuckets = field(default_factory=ScheduleBuckets)
+    transitions: int = 0
+    steals: int = 0
+    tasks_run: int = 0
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_nj * 1e-9
+
+    @property
+    def time_s(self) -> float:
+        return self.time_ns * 1e-9
+
+    @property
+    def edp_js(self) -> float:
+        return self.energy_j * self.time_s
+
+
+@dataclass
+class _CoreState:
+    clock_ns: float = 0.0
+    point: Optional[OperatingPoint] = None
+    queue: deque = field(default_factory=deque)
+
+
+class DAEScheduler:
+    """Replays task profiles under a scheme and frequency policy."""
+
+    #: Runtime dispatch overhead per task (queue pop, bookkeeping).
+    task_overhead_ns: float = 40.0
+    #: Extra overhead of a successful steal.
+    steal_overhead_ns: float = 120.0
+    #: Power of a sleeping core (deep C-state).
+    sleep_power_w: float = 0.15
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+
+    def run(self, profiles: list[TaskProfile], scheme: str,
+            policy: FrequencyPolicy) -> ScheduleResult:
+        """Schedule ``profiles`` under ``scheme`` ('cae' or 'dae').
+
+        For 'dae', tasks without an access profile fall back to coupled
+        execution (the compiler generated no access version).
+        """
+        config = self.config
+        cores = [_CoreState() for _ in range(config.cores)]
+        for i, profile in enumerate(profiles):
+            cores[i % config.cores].queue.append(profile)
+
+        result = ScheduleResult(scheme=scheme, policy=policy.name)
+        buckets = result.buckets
+
+        # Run cores in lockstep-ish order: always advance the core with
+        # the smallest clock so stealing sees a consistent global state.
+        # A successful thief runs the stolen task immediately (otherwise
+        # near-equal clocks let idle cores re-steal it forever).
+        while True:
+            core = min(cores, key=lambda c: c.clock_ns)
+            if not core.queue:
+                victim = max(cores, key=lambda c: len(c.queue))
+                if not victim.queue:
+                    break
+                core.queue.append(victim.queue.pop())
+                core.clock_ns += self.steal_overhead_ns
+                result.steals += 1
+            profile = core.queue.popleft()
+            self._run_task(core, profile, scheme, policy, result)
+            result.tasks_run += 1
+
+        result.time_ns = max(c.clock_ns for c in cores) if cores else 0.0
+        # Idle tails: cores that finished early sleep until the end.
+        for core in cores:
+            idle = result.time_ns - core.clock_ns
+            if idle > 0:
+                idle_nj = self.sleep_power_w * idle
+                buckets.osi_ns += idle
+                buckets.osi_nj += idle_nj
+        result.energy_nj = (
+            buckets.prefetch_nj + buckets.task_nj + buckets.osi_nj
+        )
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _run_task(self, core: _CoreState, profile: TaskProfile, scheme: str,
+                  policy: FrequencyPolicy, result: ScheduleResult) -> None:
+        config = self.config
+        buckets = result.buckets
+
+        # Dispatch overhead runs at the core's current point (or fmin).
+        overhead_point = core.point or config.fmin
+        overhead_energy = static_power(overhead_point, 1, config) * (
+            self.task_overhead_ns
+        )
+        core.clock_ns += self.task_overhead_ns
+        buckets.osi_ns += self.task_overhead_ns
+        buckets.osi_nj += overhead_energy
+
+        run_access = scheme in ("dae", "manual") and profile.access is not None
+        access_time = 0.0
+        if run_access:
+            access_point = policy.access_point(profile.access, config)
+            # Break-even guard: downclocking for a phase shorter than the
+            # ramp itself can never pay off; stay where the core is (or,
+            # for a cold core, go straight to the execute point).
+            predicted = profile.access.time_ns(access_point, config)
+            if predicted < config.dvfs_transition_ns:
+                if core.point is not None:
+                    access_point = core.point
+                else:
+                    access_point = policy.execute_point(
+                        profile.execute, config
+                    )
+            # The ramp into a (DRAM-bound) access phase overlaps the
+            # phase's own memory time when the hardware keeps clocking
+            # during the transition.
+            time = profile.access.time_ns(access_point, config)
+            hide = profile.access.prefetch_mem_ns(config) + (
+                profile.access.demand_mem_ns(config)
+            )
+            self._maybe_switch(core, access_point, result, hide_ns=hide)
+            ipc = profile.access.ipc(access_point, config)
+            breakdown = phase_energy(time, access_point, ipc, config)
+            core.clock_ns += time
+            access_time = time
+            buckets.prefetch_ns += time
+            buckets.prefetch_nj += breakdown.energy_nj
+
+        execute_point = policy.execute_point(profile.execute, config)
+        # The ramp back up hides behind the tail of the access phase
+        # (prefetches still in flight when the switch is requested).
+        self._maybe_switch(core, execute_point, result, hide_ns=access_time)
+        time = profile.execute.time_ns(execute_point, config)
+        ipc = profile.execute.ipc(execute_point, config)
+        breakdown = phase_energy(time, execute_point, ipc, config)
+        core.clock_ns += time
+        buckets.task_ns += time
+        buckets.task_nj += breakdown.energy_nj
+
+    def _maybe_switch(self, core: _CoreState, point: OperatingPoint,
+                      result: ScheduleResult, hide_ns: float = 0.0) -> None:
+        if core.point is not None and core.point is point:
+            return
+        if core.point is not None and core.point.freq_ghz == point.freq_ghz:
+            core.point = point
+            return
+        config = self.config
+        if core.point is not None and config.dvfs_transition_ns > 0:
+            breakdown = transition_energy(config, point)
+            visible_ns = breakdown.time_ns
+            if config.dvfs_overlap:
+                visible_ns = max(0.0, visible_ns - hide_ns)
+            core.clock_ns += visible_ns
+            result.buckets.osi_ns += visible_ns
+            # Static transition energy is charged in full: the regulator
+            # ramps regardless of whether the core hid the latency.
+            result.buckets.osi_nj += breakdown.energy_nj
+            result.transitions += 1
+        core.point = point

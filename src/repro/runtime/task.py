@@ -1,0 +1,52 @@
+"""Task abstraction of the DAE runtime (Section 3.1).
+
+A task is a well-defined piece of work over a small working set.  At
+runtime each task has up to two versions: the access version (prefetch)
+and the execute version (the original computation).  ``TaskInstance``
+binds a task to concrete argument values (array base addresses, sizes,
+tile offsets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir import Function
+from ..sim.timing import PhaseProfile
+
+
+@dataclass
+class TaskKind:
+    """A compiled task: execute version plus optional access versions."""
+
+    name: str
+    execute: Function
+    access: Optional[Function] = None          # compiler-generated
+    manual_access: Optional[Function] = None   # hand-written (Manual DAE)
+    method: str = "none"  # how `access` was generated: affine/skeleton/none
+
+
+@dataclass
+class TaskInstance:
+    """One dynamic task: a kind plus its runtime arguments."""
+
+    kind: TaskKind
+    args: list
+
+    @property
+    def name(self) -> str:
+        return self.kind.name
+
+
+@dataclass
+class TaskProfile:
+    """Measured phase profiles of one dynamic task."""
+
+    instance: TaskInstance
+    execute: PhaseProfile
+    access: Optional[PhaseProfile] = None
+
+    @property
+    def has_access(self) -> bool:
+        return self.access is not None

@@ -1,0 +1,18 @@
+"""Hardware model: caches, core timing and machine configuration."""
+
+from .cache import LEVELS, AccessCounts, Cache, CoreCaches, MachineCaches
+from .config import (
+    DEFAULT_CONFIG,
+    CacheConfig,
+    MachineConfig,
+    OperatingPoint,
+    sandybridge_operating_points,
+)
+from .timing import SLOT_COSTS, PhaseProfile, issue_slots
+
+__all__ = [
+    "LEVELS", "AccessCounts", "Cache", "CoreCaches", "MachineCaches",
+    "DEFAULT_CONFIG", "CacheConfig", "MachineConfig", "OperatingPoint",
+    "sandybridge_operating_points",
+    "SLOT_COSTS", "PhaseProfile", "issue_slots",
+]

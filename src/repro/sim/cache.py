@@ -1,0 +1,170 @@
+"""Set-associative cache hierarchy (trace-driven, LRU).
+
+Each core owns a private L1 and L2; the LLC is shared.  The hierarchy
+consumes the interpreter's memory events and reports, per access, the
+level that served it — the input to the core timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import CacheConfig, MachineConfig
+
+#: Service levels, cheapest first.  ``mem_stream`` is a DRAM miss that
+#: the hardware stream prefetcher detected (sequential line), serviced
+#: with high memory-level parallelism; ``mem`` is a random-access miss.
+LEVELS = ("l1", "l2", "llc", "mem", "mem_stream")
+
+
+class Cache:
+    """One set-associative LRU cache of line addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
+        self._tick = 0
+
+    def _set_for(self, line: int) -> dict[int, int]:
+        return self.sets[line % self.config.sets]
+
+    def lookup(self, line: int) -> bool:
+        """True on hit; updates recency."""
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            self._tick += 1
+            cache_set[line] = self._tick
+            return True
+        return False
+
+    def fill(self, line: int) -> None:
+        """Insert a line, evicting LRU if the set is full."""
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            return
+        if len(cache_set) >= self.config.ways:
+            victim = min(cache_set, key=cache_set.get)  # type: ignore[arg-type]
+            del cache_set[victim]
+        self._tick += 1
+        cache_set[line] = self._tick
+
+    def flush(self) -> None:
+        for cache_set in self.sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+
+@dataclass
+class AccessCounts:
+    """Per-phase hit/miss tallies, split by demand vs. prefetch."""
+
+    loads: dict[str, int] = field(default_factory=lambda: dict.fromkeys(LEVELS, 0))
+    stores: dict[str, int] = field(default_factory=lambda: dict.fromkeys(LEVELS, 0))
+    prefetches: dict[str, int] = field(default_factory=lambda: dict.fromkeys(LEVELS, 0))
+
+    def record(self, kind: str, level: str) -> None:
+        bucket = {
+            "load": self.loads, "store": self.stores, "prefetch": self.prefetches,
+        }[kind]
+        bucket[level] += 1
+
+    @property
+    def demand_mem_misses(self) -> int:
+        return (
+            self.loads["mem"] + self.loads["mem_stream"]
+            + self.stores["mem"] + self.stores["mem_stream"]
+        )
+
+    @property
+    def prefetch_mem_misses(self) -> int:
+        return self.prefetches["mem"] + self.prefetches["mem_stream"]
+
+    def total(self, kind: str) -> int:
+        bucket = {
+            "load": self.loads, "store": self.stores, "prefetch": self.prefetches,
+        }[kind]
+        return sum(bucket.values())
+
+    def merged(self, other: "AccessCounts") -> "AccessCounts":
+        result = AccessCounts()
+        for mine, theirs, out in (
+            (self.loads, other.loads, result.loads),
+            (self.stores, other.stores, result.stores),
+            (self.prefetches, other.prefetches, result.prefetches),
+        ):
+            for level in LEVELS:
+                out[level] = mine[level] + theirs[level]
+        return result
+
+
+class CoreCaches:
+    """The private L1+L2 of one core, in front of a shared LLC.
+
+    A simple stream-prefetcher model classifies DRAM misses: a miss
+    whose line adjoins one of the core's recently-missed lines is a
+    *stream* miss (the hardware prefetcher would have it in flight);
+    anything else is a random miss that pays the full demand penalty.
+    """
+
+    #: How many recent miss lines the stream detector remembers.
+    STREAM_WINDOW = 16
+
+    def __init__(self, config: MachineConfig, shared_llc: Cache):
+        self.config = config
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.llc = shared_llc
+        self.line_bytes = config.l1.line_bytes
+        self._recent_misses: list[int] = []
+
+    def access(self, address: int, kind: str, counts: AccessCounts) -> str:
+        """Simulate one access; returns the level that served it."""
+        line = address // self.line_bytes
+        if self.l1.lookup(line):
+            level = "l1"
+        elif self.l2.lookup(line):
+            level = "l2"
+            self.l1.fill(line)
+        elif self.llc.lookup(line):
+            level = "llc"
+            self.l2.fill(line)
+            self.l1.fill(line)
+        else:
+            level = "mem_stream" if self._is_stream(line) else "mem"
+            self._note_miss(line)
+            self.llc.fill(line)
+            self.l2.fill(line)
+            self.l1.fill(line)
+        counts.record(kind, level)
+        return level
+
+    def _is_stream(self, line: int) -> bool:
+        return (line - 1) in self._recent_misses or (
+            line + 1
+        ) in self._recent_misses
+
+    def _note_miss(self, line: int) -> None:
+        self._recent_misses.append(line)
+        if len(self._recent_misses) > self.STREAM_WINDOW:
+            self._recent_misses.pop(0)
+
+    def flush_private(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self._recent_misses.clear()
+
+
+class MachineCaches:
+    """All cores' cache hierarchies over one shared LLC."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.llc = Cache(config.llc)
+        self.cores = [CoreCaches(config, self.llc) for _ in range(config.cores)]
+
+    def flush(self) -> None:
+        self.llc.flush()
+        for core in self.cores:
+            core.flush_private()

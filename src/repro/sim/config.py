@@ -1,0 +1,147 @@
+"""Machine configuration: a Sandy Bridge-like quad core.
+
+All model constants live here so experiments (and ablations) can vary
+them.  Values are chosen to match the platform of the paper's
+evaluation: an Intel Sandy Bridge quad core, 1.6–3.4 GHz DVFS range in
+400 MHz steps (Section 6.2), 32K/256K private caches, shared 8M LLC,
+and ~65 ns DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    latency_cycles: int = 4
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A DVFS step: frequency (GHz) and the voltage it requires."""
+
+    freq_ghz: float
+    voltage: float
+
+
+def sandybridge_operating_points() -> tuple[OperatingPoint, ...]:
+    """fmin=1.6 GHz to fmax=3.4 GHz in 400 MHz steps (Figure 4).
+
+    Voltage scales linearly from 0.85 V to 1.25 V across the range —
+    the shape the paper's power model needs (Section 3.2).
+    """
+    freqs = [1.6, 2.0, 2.4, 2.8, 3.2, 3.4]
+    fmin, fmax = freqs[0], freqs[-1]
+    vmin, vmax = 0.85, 1.25
+    return tuple(
+        OperatingPoint(f, vmin + (vmax - vmin) * (f - fmin) / (fmax - fmin))
+        for f in freqs
+    )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything the timing, cache and power models need.
+
+    Capacity scaling: the cache *sizes* default to 1/16 of the real
+    Sandy Bridge (2K/16K/24K instead of 32K/256K/8M), preserving the
+    L1:L2:LLC capacity shape while letting workload footprints exceed
+    the LLC at trace-driven-simulation scale.  Latencies, the DVFS
+    range and the power model are unscaled.  ``sandybridge_full()``
+    returns the full-size hierarchy for users who want it.
+    """
+
+    cores: int = 4
+    issue_width: int = 4
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024, 4, latency_cycles=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(16 * 1024, 8, latency_cycles=12)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(24 * 1024, 16, latency_cycles=30)
+    )
+
+    #: DRAM access time, frequency-INDEPENDENT in wall-clock terms.  This
+    #: is the non-proportionality DAE exploits: at low frequency the same
+    #: 65 ns costs fewer core cycles.
+    mem_latency_ns: float = 65.0
+
+    #: Outstanding-miss overlap for demand loads (stall retirement) vs.
+    #: prefetches (do not stall retirement — Section 3.1's motivation for
+    #: using builtin_prefetch: "more memory level parallelism (MLP) over
+    #: simple loads").
+    mlp_demand: float = 5.0
+    mlp_prefetch: float = 7.0
+    #: Effective overlap for DRAM misses the hardware stream prefetcher
+    #: catches (sequential lines).  On real Sandy Bridge the L2 streamer
+    #:  makes coupled sequential scans nearly as memory-parallel as
+    #: software prefetch, which is why DAE's win on streaming codes is
+    #: energy, not time.
+    mlp_hw_stream: float = 6.0
+    #: Store-buffer drain overlap for store misses (stores rarely stall
+    #: the pipeline — footnote 3 of the paper — but their DRAM traffic
+    #: is not free; this keeps LBM's execute phase partly memory-bound).
+    mlp_store: float = 4.0
+
+    #: Fraction of L2/LLC hit latency the out-of-order window hides.
+    l2_hidden: float = 0.5
+    llc_hidden: float = 0.3
+
+    operating_points: tuple[OperatingPoint, ...] = field(
+        default_factory=sandybridge_operating_points
+    )
+
+    #: DVFS transition latency in nanoseconds (500 ns ≈ current Haswell,
+    #: 0 ns = the ideal future hardware of Section 6.1).
+    dvfs_transition_ns: float = 500.0
+
+    # -- power model constants (Section 3.2, from Koukos et al. [14]) ----
+    ceff_slope: float = 0.19   # nF per IPC
+    ceff_base: float = 1.64    # nF
+    static_base_w: float = 0.8     # W per active core, V-f independent part
+    static_fv_w: float = 0.25      # W per active core per (GHz * V)
+
+    #: Whether a DVFS ramp can overlap memory-bound work (FIVR-style:
+    #: the core keeps clocking at the old point while voltage ramps, so
+    #: a switch hides behind DRAM-bound phases).  False reproduces the
+    #: pessimistic stall-for-500ns model as an ablation.
+    dvfs_overlap: bool = True
+
+    @property
+    def fmin(self) -> OperatingPoint:
+        return self.operating_points[0]
+
+    @property
+    def fmax(self) -> OperatingPoint:
+        return self.operating_points[-1]
+
+    def point_for(self, freq_ghz: float) -> OperatingPoint:
+        for point in self.operating_points:
+            if abs(point.freq_ghz - freq_ghz) < 1e-9:
+                return point
+        raise KeyError("no operating point at %.2f GHz" % freq_ghz)
+
+
+def sandybridge_full() -> MachineConfig:
+    """The unscaled Sandy Bridge hierarchy (32K/256K/8M)."""
+    return MachineConfig(
+        l1=CacheConfig(32 * 1024, 8, latency_cycles=4),
+        l2=CacheConfig(256 * 1024, 8, latency_cycles=12),
+        llc=CacheConfig(8 * 1024 * 1024, 16, latency_cycles=30),
+    )
+
+
+DEFAULT_CONFIG = MachineConfig()

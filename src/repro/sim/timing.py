@@ -1,0 +1,144 @@
+"""Core timing model: from dynamic counts to time-vs-frequency curves.
+
+The model captures the one first-order effect DAE exploits: core cycles
+scale with frequency, DRAM time does not.  A phase is summarized as
+
+    T(f) = max(C / f, M_pf) + M_demand + M_store          [nanoseconds]
+
+* ``C`` — frequency-scaled cycles: issue slots / width plus the visible
+  part of L2/LLC hit latency for demand loads;
+* ``M_demand`` — DRAM time of demand-load misses, overlapped by the
+  demand MLP (loads stall retirement);
+* ``M_store`` — DRAM time of store misses drained through the store
+  buffer (cheap, but not free — this is what keeps LBM's execute phase
+  partly memory-bound, Section 6.1's noted exception);
+* ``M_pf`` — DRAM time of prefetch misses at the higher prefetch MLP;
+  prefetches do not stall retirement, so they overlap the phase's
+  compute (``max``) instead of adding to it.
+
+IPC(f) = instructions / (T(f) · f) feeds the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interp.interpreter import ExecutionTrace
+from .cache import AccessCounts
+from .config import MachineConfig, OperatingPoint
+
+#: Issue-slot cost per opcode; anything missing costs one slot.
+#: GEPs cost nothing: x86 folds address arithmetic into the load/store
+#: addressing mode (SIB), and phis are resolved by register renaming.
+SLOT_COSTS = {
+    "fadd": 2, "fsub": 2, "fmul": 2, "fdiv": 10,
+    "sdiv": 8, "srem": 8, "mul": 2,
+    "call": 2,
+    "gep": 0, "phi": 0,
+}
+
+
+def issue_slots(trace: ExecutionTrace) -> int:
+    total = 0
+    for opcode, count in trace.by_opcode.items():
+        total += SLOT_COSTS.get(opcode, 1) * count
+    return total
+
+
+@dataclass
+class PhaseProfile:
+    """Frequency-independent summary of one executed phase."""
+
+    instructions: int = 0
+    slots: int = 0
+    counts: AccessCounts = field(default_factory=AccessCounts)
+
+    @staticmethod
+    def from_run(trace: ExecutionTrace, counts: AccessCounts) -> "PhaseProfile":
+        return PhaseProfile(
+            instructions=trace.instructions,
+            slots=issue_slots(trace),
+            counts=counts,
+        )
+
+    def merged(self, other: "PhaseProfile") -> "PhaseProfile":
+        return PhaseProfile(
+            instructions=self.instructions + other.instructions,
+            slots=self.slots + other.slots,
+            counts=self.counts.merged(other.counts),
+        )
+
+    def scaled(self, factor: float) -> "PhaseProfile":
+        """Extrapolate a sampled window to the full application."""
+        scaled_counts = AccessCounts()
+        for name in ("loads", "stores", "prefetches"):
+            mine = getattr(self.counts, name)
+            out = getattr(scaled_counts, name)
+            for level, value in mine.items():
+                out[level] = int(round(value * factor))
+        return PhaseProfile(
+            instructions=int(round(self.instructions * factor)),
+            slots=int(round(self.slots * factor)),
+            counts=scaled_counts,
+        )
+
+    # -- timing -------------------------------------------------------------------
+
+    def core_cycles(self, config: MachineConfig) -> float:
+        """Frequency-scaled cycles (C)."""
+        cycles = self.slots / config.issue_width
+        cycles += (
+            self.counts.loads["l2"]
+            * config.l2.latency_cycles * (1.0 - config.l2_hidden)
+        )
+        cycles += (
+            self.counts.loads["llc"]
+            * config.llc.latency_cycles * (1.0 - config.llc_hidden)
+        )
+        return cycles
+
+    def demand_mem_ns(self, config: MachineConfig) -> float:
+        random_ns = (
+            self.counts.loads["mem"] * config.mem_latency_ns / config.mlp_demand
+        )
+        stream_ns = (
+            self.counts.loads["mem_stream"]
+            * config.mem_latency_ns / config.mlp_hw_stream
+        )
+        return random_ns + stream_ns
+
+    def store_mem_ns(self, config: MachineConfig) -> float:
+        misses = self.counts.stores["mem"] + self.counts.stores["mem_stream"]
+        return misses * config.mem_latency_ns / config.mlp_store
+
+    def prefetch_mem_ns(self, config: MachineConfig) -> float:
+        misses = (
+            self.counts.prefetches["mem"]
+            + self.counts.prefetches["mem_stream"]
+        )
+        return misses * config.mem_latency_ns / config.mlp_prefetch
+
+    def time_ns(self, point: OperatingPoint, config: MachineConfig) -> float:
+        core_ns = self.core_cycles(config) / point.freq_ghz
+        busy = max(core_ns, self.prefetch_mem_ns(config))
+        return busy + self.demand_mem_ns(config) + self.store_mem_ns(config)
+
+    def ipc(self, point: OperatingPoint, config: MachineConfig) -> float:
+        time = self.time_ns(point, config)
+        if time <= 0.0:
+            return 0.0
+        cycles = time * point.freq_ghz
+        return self.instructions / cycles
+
+    def memory_boundedness(self, config: MachineConfig) -> float:
+        """Fraction of fmax time spent waiting on DRAM (diagnostic)."""
+        fmax = config.fmax
+        total = self.time_ns(fmax, config)
+        if total <= 0.0:
+            return 0.0
+        mem = (
+            self.demand_mem_ns(config)
+            + self.store_mem_ns(config)
+            + self.prefetch_mem_ns(config)
+        )
+        return min(1.0, mem / total)

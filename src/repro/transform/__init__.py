@@ -1,0 +1,18 @@
+"""IR transformations: mem2reg, DCE, CFG simplification, inlining, and
+the access-phase generators (the paper's core contribution)."""
+
+from .dce import dead_code_elimination, is_trivially_dead
+from .gvn import global_value_numbering
+from .inline import InlineError, can_inline, inline_all_calls, inline_call
+from .mem2reg import mem2reg, promotable_allocas
+from .pipeline import optimize_function, optimize_module
+from .simplify_cfg import simplify_cfg
+
+__all__ = [
+    "dead_code_elimination", "is_trivially_dead",
+    "global_value_numbering",
+    "InlineError", "can_inline", "inline_all_calls", "inline_call",
+    "mem2reg", "promotable_allocas",
+    "optimize_function", "optimize_module",
+    "simplify_cfg",
+]

@@ -1,0 +1,39 @@
+"""Access-phase generation — the paper's core contribution.
+
+``generate_access_phase`` takes a task function and produces its access
+version: polyhedrally optimized prefetch loops for affine tasks
+(Section 5.1), or an optimized skeleton for everything else
+(Section 5.2).
+"""
+
+from .affine import (
+    AccessClass,
+    AccessNest,
+    AffineGenerationError,
+    AffinePlan,
+    PrefetchSpec,
+    plan_affine_access,
+)
+from .delinearize import Delinearized, DelinearizeError, delinearize
+from .driver import (
+    AccessPhaseOptions,
+    AccessPhaseResult,
+    generate_access_phase,
+    generate_module_access_phases,
+)
+from .emit import EmitError, emit_access_function
+from .forms import FormError, IndexForm, SymbolTable, linear_to_affine
+from .hotpath import BranchProfile, make_profiler, profile_branches
+from .skeleton import SkeletonOptions, SkeletonStats, generate_skeleton
+
+__all__ = [
+    "AccessClass", "AccessNest", "AffineGenerationError", "AffinePlan",
+    "PrefetchSpec", "plan_affine_access",
+    "Delinearized", "DelinearizeError", "delinearize",
+    "AccessPhaseOptions", "AccessPhaseResult",
+    "generate_access_phase", "generate_module_access_phases",
+    "EmitError", "emit_access_function",
+    "FormError", "IndexForm", "SymbolTable", "linear_to_affine",
+    "BranchProfile", "make_profiler", "profile_branches",
+    "SkeletonOptions", "SkeletonStats", "generate_skeleton",
+]

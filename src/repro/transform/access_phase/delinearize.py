@@ -1,0 +1,107 @@
+"""Delinearization: linearized indices back to multi-dim subscripts.
+
+The frontend (like LLVM) lowers ``A[i][j]`` to ``A[i*N + j]``, so the
+element index the access analysis recovers is linear in the IVs but has
+*parametric* coefficients (the row stride ``N``).  The polyhedral layer
+needs genuine subscript dimensions with integer coefficients, so we
+factor the index into
+
+    index = s_{0} * stride_0 + s_{1} * stride_1 + ... + s_{m-1}
+
+where each stride is a product of size parameters and each subscript
+``s_d`` is pure-affine in IVs and parameters.  This mirrors LLVM's
+delinearization on SCEVs.  The usual validity condition
+``0 <= s_d < size_d`` is recorded as an assumption (the workloads obey
+it by construction; production compilers emit a runtime check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...analysis.scalar_evolution import LinearExpr
+from ...ir import Value
+
+
+class DelinearizeError(Exception):
+    """Raised when an index cannot be factored into subscripts."""
+
+
+@dataclass
+class Delinearized:
+    """Subscript vector (outermost dimension first) with strides."""
+
+    subscripts: list[LinearExpr]
+    strides: list[tuple]  # per-subscript tuple of stride parameter Values
+    assumptions: list[str] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.subscripts)
+
+
+def _is_pure(expr: LinearExpr) -> bool:
+    """True when usable as a subscript: integer coeffs on IVs, degree-1
+    parameters as offsets."""
+    for (iv, mono), _coeff in expr.terms.items():
+        if iv is not None and mono:
+            return False
+        if iv is None and len(mono) > 1:
+            return False
+    return True
+
+
+def _stride_params(expr: LinearExpr) -> list[Value]:
+    params: dict[int, Value] = {}
+    for (_iv, mono), _coeff in expr.terms.items():
+        for sym in mono:
+            params.setdefault(id(sym), sym)
+    return list(params.values())
+
+
+def delinearize(index: LinearExpr) -> Delinearized:
+    """Factor ``index`` into subscripts and strides.
+
+    Raises :class:`DelinearizeError` when no parameter factoring yields
+    pure-affine subscripts (the task then takes the non-affine path).
+    """
+    subscripts_rev: list[LinearExpr] = []
+    strides_rev: list[tuple] = []
+    assumptions: list[str] = []
+
+    current = index
+    current_stride: tuple = ()
+    while True:
+        if _is_pure(current):
+            subscripts_rev.append(current)
+            strides_rev.append(current_stride)
+            break
+        candidates = _stride_params(current)
+        if not candidates:
+            raise DelinearizeError("nonlinear index with no stride parameter")
+        for param in candidates:
+            split = current.split_by_monomial(param)
+            if split is None:
+                continue
+            quotient, remainder = split
+            if _is_pure(remainder) and quotient.terms:
+                subscripts_rev.append(remainder)
+                strides_rev.append(current_stride)
+                assumptions.append(
+                    "0 <= %r < %s" % (remainder, param.name or "stride")
+                )
+                current = quotient
+                current_stride = tuple(
+                    list(current_stride) + [param]
+                )
+                break
+        else:
+            raise DelinearizeError(
+                "no stride parameter factors %r into pure subscripts" % index
+            )
+
+    subscripts = list(reversed(subscripts_rev))
+    strides = list(reversed(strides_rev))
+    return Delinearized(
+        subscripts=subscripts, strides=strides, assumptions=assumptions
+    )

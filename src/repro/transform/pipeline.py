@@ -1,0 +1,37 @@
+"""Standard optimization pipeline (the paper's "-O3" stand-in).
+
+``optimize_function`` is run on every task before access-phase
+generation so the generator starts from clean SSA (Section 1: "the
+compiler can derive the access phase after applying traditional compiler
+optimizations to the original code, thereby leading to leaner access
+phases").
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, Module, verify_function
+from .dce import dead_code_elimination
+from .gvn import global_value_numbering
+from .mem2reg import mem2reg
+from .simplify_cfg import simplify_cfg
+
+
+def optimize_function(func: Function, verify: bool = True) -> Function:
+    """mem2reg + GVN + CFG simplification + DCE, to a fixed point."""
+    mem2reg(func)
+    for _ in range(4):
+        changed = simplify_cfg(func) > 0
+        changed |= global_value_numbering(func) > 0
+        changed |= dead_code_elimination(func) > 0
+        changed |= mem2reg(func) > 0
+        if not changed:
+            break
+    if verify:
+        verify_function(func)
+    return func
+
+
+def optimize_module(module: Module, verify: bool = True) -> Module:
+    for func in module.functions.values():
+        optimize_function(func, verify=verify)
+    return module

@@ -1,0 +1,40 @@
+"""The paper's benchmark applications, ported to the task runtime.
+
+Compute-bound: LU, Cholesky, FFT (SPLASH-2).  Memory-bound: CIGAR,
+LibQ (SPEC libquantum).  Intermediate: CG (NAS), LBM (SPEC).
+"""
+
+from .base import CompiledWorkload, PaperRow, Workload, fill_floats, fill_ints
+from .cg import CGWorkload
+from .cholesky import CholeskyWorkload
+from .cigar import CigarWorkload
+from .fft import FFTWorkload
+from .lbm import LBMWorkload
+from .libquantum import LibQuantumWorkload
+from .lu import LUWorkload
+
+#: The evaluation order used in the paper's figures.
+ALL_WORKLOADS = (
+    LUWorkload,
+    CholeskyWorkload,
+    FFTWorkload,
+    LBMWorkload,
+    LibQuantumWorkload,
+    CigarWorkload,
+    CGWorkload,
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    for cls in ALL_WORKLOADS:
+        if cls.name == name:
+            return cls()
+    raise KeyError("unknown workload %r" % name)
+
+
+__all__ = [
+    "CompiledWorkload", "PaperRow", "Workload", "fill_floats", "fill_ints",
+    "CGWorkload", "CholeskyWorkload", "CigarWorkload", "FFTWorkload",
+    "LBMWorkload", "LibQuantumWorkload", "LUWorkload",
+    "ALL_WORKLOADS", "workload_by_name",
+]

@@ -1,0 +1,131 @@
+"""Workload framework.
+
+Each benchmark (Section 6's LU, Cholesky, FFT, LBM, LibQ, CIGAR, CG)
+is described by:
+
+* task-language **source** for its execute tasks and hand-written
+  ("Manual DAE") access tasks;
+* a **builder** that allocates simulated memory and produces the dynamic
+  task stream for a given scale;
+* the paper's Table 1 reference numbers, used by the evaluation harness
+  to print paper-vs-measured rows.
+
+Compilation runs the real pipeline: parse → lower → optimize →
+``generate_access_phase`` per task, exactly what Section 5 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import compile_source
+from ..interp.memory import SimMemory
+from ..ir import Module
+from ..runtime.task import TaskInstance, TaskKind
+from ..transform import optimize_module
+from ..transform.access_phase import (
+    AccessPhaseOptions,
+    AccessPhaseResult,
+    generate_access_phase,
+)
+
+#: Suffix naming convention for hand-written access versions in source.
+MANUAL_SUFFIX = "_manual_access"
+
+
+@dataclass
+class PaperRow:
+    """Table 1 reference values for one application."""
+
+    affine_loops: int
+    total_loops: int
+    tasks: int
+    ta_percent: float
+    ta_usec: float
+
+
+@dataclass
+class CompiledWorkload:
+    """A workload after compilation and access-phase generation."""
+
+    name: str
+    module: Module
+    kinds: dict[str, TaskKind]
+    results: dict[str, AccessPhaseResult]
+
+    def affine_loops(self) -> int:
+        return sum(r.affine_loops for r in self.results.values())
+
+    def total_loops(self) -> int:
+        return sum(r.total_loops for r in self.results.values())
+
+
+class Workload:
+    """Base class; concrete workloads override source and the builder."""
+
+    name = "workload"
+    paper = PaperRow(0, 0, 0, 0.0, 0.0)
+
+    def source(self) -> str:
+        raise NotImplementedError
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        """Allocate inputs and return the dynamic task stream."""
+        raise NotImplementedError
+
+    # -- framework ------------------------------------------------------------
+
+    def compile(self, options: Optional[AccessPhaseOptions] = None
+                ) -> CompiledWorkload:
+        module = compile_source(self.source(), name=self.name)
+        optimize_module(module)
+        kinds: dict[str, TaskKind] = {}
+        results: dict[str, AccessPhaseResult] = {}
+        for func in list(module.tasks()):
+            if func.name.endswith(MANUAL_SUFFIX) or func.name.endswith("_access"):
+                continue
+            result = generate_access_phase(func, module=module, options=options)
+            results[func.name] = result
+            manual_name = func.name + MANUAL_SUFFIX
+            manual = module.functions.get(manual_name)
+            kinds[func.name] = TaskKind(
+                name=func.name,
+                execute=func,
+                access=result.access,
+                manual_access=manual,
+                method=result.method,
+            )
+        return CompiledWorkload(
+            name=self.name, module=module, kinds=kinds, results=results
+        )
+
+    def instantiate(self, scale: int = 1,
+                    compiled: Optional[CompiledWorkload] = None,
+                    options: Optional[AccessPhaseOptions] = None):
+        """(memory, task stream, compiled) ready for profiling."""
+        compiled = compiled or self.compile(options)
+        memory = SimMemory()
+        instances = self.build(memory, scale, compiled.kinds)
+        return memory, instances, compiled
+
+
+def fill_floats(n: int, seed: int = 7) -> list[float]:
+    """Deterministic pseudo-random doubles in (0, 1)."""
+    values = []
+    state = seed & 0x7FFFFFFF or 1
+    for _ in range(n):
+        state = (1103515245 * state + 12345) % (1 << 31)
+        values.append((state % 100_000) / 100_000.0 + 1e-6)
+    return values
+
+
+def fill_ints(n: int, modulo: int, seed: int = 11) -> list[int]:
+    """Deterministic pseudo-random ints in [0, modulo)."""
+    values = []
+    state = seed & 0x7FFFFFFF or 1
+    for _ in range(n):
+        state = (1103515245 * state + 12345) % (1 << 31)
+        values.append(state % modulo)
+    return values

@@ -1,0 +1,121 @@
+"""CG — NAS parallel benchmark conjugate gradient (0/2 affine loops).
+
+Two task types, both non-affine through indirection:
+
+* ``cg_spmv`` — CSR sparse matrix-vector product; inner-loop bounds come
+  from ``rowptr`` loads and the ``x`` gather goes through ``col``;
+* ``cg_update`` — the NAS-style indirect vector update through a
+  permutation index (the gather/scatter that keeps CG irregular).
+
+The manual access versions prefetch the CSR streams (val/col) but skip
+the gathered ``x`` entries, trading coverage for a shorter access phase.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats, fill_ints
+
+SOURCE = """
+// y[r] = sum over row r of val[k] * x[col[k]] for rows [r0, r0+cnt).
+task cg_spmv(rowptr: i64*, col: i64*, val: f64*, x: f64*, y: f64*,
+             r0: i64, cnt: i64) {
+  var r: i64; var k: i64; var lo: i64; var hi: i64; var acc: f64;
+  for (r = r0; r < r0 + cnt; r = r + 1) {
+    acc = 0.0;
+    lo = rowptr[r];
+    hi = rowptr[r + 1];
+    for (k = lo; k < hi; k = k + 1) {
+      acc = acc + val[k] * x[col[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+// Manual DAE: prefetch the row pointers and the val/col streams; the
+// expert skips the x gather.
+task cg_spmv_manual_access(rowptr: i64*, col: i64*, val: f64*, x: f64*, y: f64*,
+                           r0: i64, cnt: i64) {
+  var r: i64; var k: i64; var lo: i64; var hi: i64;
+  lo = rowptr[r0];
+  hi = rowptr[r0 + cnt];
+  for (r = r0; r <= r0 + cnt; r = r + 1) {
+    prefetch(rowptr[r]);
+  }
+  for (k = lo; k < hi; k = k + 1) {
+    prefetch(val[k]);
+    prefetch(x[col[k]]);
+  }
+}
+
+// Indirect vector update p[idx[i]] = r[idx[i]] + beta * z[idx[i]].
+task cg_update(p: f64*, r: f64*, z: f64*, idx: i64*,
+               n0: i64, cnt: i64, beta: f64) {
+  var i: i64; var j: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    j = idx[i];
+    p[j] = r[j] + beta * z[j];
+  }
+}
+
+task cg_update_manual_access(p: f64*, r: f64*, z: f64*, idx: i64*,
+                             n0: i64, cnt: i64, beta: f64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    prefetch(idx[i]);
+  }
+}
+"""
+
+
+class CGWorkload(Workload):
+    """CSR SpMV plus indirect vector updates, chunked by rows."""
+
+    name = "cg"
+    paper = PaperRow(
+        affine_loops=0, total_loops=2, tasks=35_634_375,
+        ta_percent=42.84, ta_usec=2.89,
+    )
+
+    rows_per_task = 48
+    nnz_per_row = 16
+
+    def source(self) -> str:
+        return SOURCE
+
+    def rows(self, scale: int) -> int:
+        return 48 * 8 * scale
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        n = self.rows(scale)
+        nnz = n * self.nnz_per_row
+        rowptr = memory.alloc_array(
+            8, n + 1, "rowptr", init=[r * self.nnz_per_row for r in range(n + 1)]
+        )
+        col = memory.alloc_array(8, nnz, "col", init=fill_ints(nnz, n, seed=59))
+        val = memory.alloc_array(8, nnz, "val", init=fill_floats(nnz, seed=61))
+        x = memory.alloc_array(8, n, "x", init=fill_floats(n, seed=67))
+        y = memory.alloc_array(8, n, "y")
+        p = memory.alloc_array(8, n, "p", init=fill_floats(n, seed=71))
+        r_vec = memory.alloc_array(8, n, "r", init=fill_floats(n, seed=73))
+        z = memory.alloc_array(8, n, "z", init=fill_floats(n, seed=79))
+        idx = memory.alloc_array(8, n, "idx", init=fill_ints(n, n, seed=83))
+
+        instances: list[TaskInstance] = []
+        for r0 in range(0, n, self.rows_per_task):
+            instances.append(
+                TaskInstance(
+                    kinds["cg_spmv"],
+                    [rowptr, col, val, x, y, r0, self.rows_per_task],
+                )
+            )
+        for n0 in range(0, n, self.rows_per_task * 2):
+            instances.append(
+                TaskInstance(
+                    kinds["cg_update"],
+                    [p, r_vec, z, idx, n0, self.rows_per_task * 2, 0.37],
+                )
+            )
+        return instances

@@ -1,0 +1,145 @@
+"""Cholesky factorization (SPLASH-2 style, blocked, LDL variant).
+
+Compute-bound affine kernel; Table 1 reports 3/3 affine loops.  We use
+the square-root-free LDL formulation (the task language has no sqrt);
+the memory access structure — the part the access generator sees — is
+identical to the SPLASH-2 blocked Cholesky: diagonal factorization,
+triangular panel solve, symmetric rank-k update.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats
+
+SOURCE = """
+// Factor the diagonal block at (D, D): lower-triangular LDL.
+task chol_diag(A: f64*, N: i64, D: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (j = 0; j < B; j = j + 1) {
+    for (k = 0; k < j; k = k + 1) {
+      for (i = j; i < B; i = i + 1) {
+        A[(D+i)*N + D+j] = A[(D+i)*N + D+j]
+                         - A[(D+i)*N + D+k] * A[(D+j)*N + D+k];
+      }
+    }
+    for (i = j + 1; i < B; i = i + 1) {
+      A[(D+i)*N + D+j] = A[(D+i)*N + D+j] / A[(D+j)*N + D+j];
+    }
+  }
+}
+
+// Manual DAE: prefetch only the lower triangle (the upper half of the
+// block is never read by the factorization).
+task chol_diag_manual_access(A: f64*, N: i64, D: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j <= i; j = j + 1) {
+      prefetch(A[(D+i)*N + D+j]);
+    }
+  }
+}
+
+// Panel solve: rows R..R+B of the panel against the diagonal block.
+task chol_panel(A: f64*, N: i64, R: i64, D: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      for (k = 0; k < j; k = k + 1) {
+        A[(R+i)*N + D+j] = A[(R+i)*N + D+j]
+                         - A[(R+i)*N + D+k] * A[(D+j)*N + D+k];
+      }
+      A[(R+i)*N + D+j] = A[(R+i)*N + D+j] / A[(D+j)*N + D+j];
+    }
+  }
+}
+
+task chol_panel_manual_access(A: f64*, N: i64, R: i64, D: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      prefetch(A[(R+i)*N + D+j]);
+    }
+  }
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j <= i; j = j + 1) {
+      prefetch(A[(D+i)*N + D+j]);
+    }
+  }
+}
+
+// Symmetric rank-k update: block (R, C) -= panel(R, D) * panel(C, D)^T.
+task chol_update(A: f64*, N: i64, R: i64, C: i64, D: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      for (k = 0; k < B; k = k + 1) {
+        A[(R+i)*N + C+j] = A[(R+i)*N + C+j]
+                         - A[(R+i)*N + D+k] * A[(C+j)*N + D+k];
+      }
+    }
+  }
+}
+
+// Manual DAE: skip the (R, D) panel ("still cached"), prefetch the
+// updated block and the transposed panel only.
+task chol_update_manual_access(A: f64*, N: i64, R: i64, C: i64, D: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      prefetch(A[(R+i)*N + C+j]);
+      prefetch(A[(C+i)*N + D+j]);
+    }
+  }
+}
+"""
+
+
+class CholeskyWorkload(Workload):
+    """Blocked LDL factorization of the lower triangle."""
+
+    name = "cholesky"
+    paper = PaperRow(
+        affine_loops=3, total_loops=3, tasks=45_760,
+        ta_percent=1.80, ta_usec=6.05,
+    )
+
+    block = 12
+
+    def source(self) -> str:
+        return SOURCE
+
+    def grid(self, scale: int) -> int:
+        return 5 + scale
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        B = self.block
+        S = self.grid(scale)
+        N = S * B
+        values = fill_floats(N * N, seed=23)
+        # Symmetric positive definite-ish: A = M + N*I on the lower half.
+        for i in range(N):
+            for j in range(i):
+                values[i * N + j] = (values[i * N + j] + values[j * N + i]) / 2
+            values[i * N + i] += float(N)
+        base = memory.alloc_array(8, N * N, "A", init=values)
+
+        instances: list[TaskInstance] = []
+        for d in range(S):
+            D = d * B
+            instances.append(TaskInstance(kinds["chol_diag"], [base, N, D, B]))
+            for r in range(d + 1, S):
+                instances.append(
+                    TaskInstance(kinds["chol_panel"], [base, N, r * B, D, B])
+                )
+            for r in range(d + 1, S):
+                for c in range(d + 1, r + 1):
+                    instances.append(
+                        TaskInstance(
+                            kinds["chol_update"],
+                            [base, N, r * B, c * B, D, B],
+                        )
+                    )
+        return instances

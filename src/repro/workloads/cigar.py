@@ -1,0 +1,87 @@
+"""CIGAR — case-injected genetic algorithm (Table 1's most memory-bound
+application, 0/1 affine loops).
+
+Fitness evaluation of a population: every gene indexes a large lookup
+table, producing dependent loads all over a weight array much larger
+than the LLC — the classic memory-bound GA evaluation loop.
+
+The manual access version prefetches the genome stream but skips the
+gather into the weight table (the expert cannot enumerate it without
+re-running the computation).
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats, fill_ints
+
+SOURCE = """
+// Evaluate `cnt` individuals starting at i0: fitness is the sum of the
+// table weights of their genes (gather through the genome).
+task cigar_fitness(pop: i64*, wt: f64*, fit: f64*, glen: i64,
+                   i0: i64, cnt: i64) {
+  var i: i64; var g: i64; var acc: f64;
+  for (i = i0; i < i0 + cnt; i = i + 1) {
+    acc = 0.0;
+    for (g = 0; g < glen; g = g + 1) {
+      acc = acc + wt[pop[i*glen + g]];
+    }
+    fit[i] = acc;
+  }
+}
+
+// Manual DAE: inspector-style — load the genome (sequential, cheap)
+// and prefetch the gathered weights, one per gene.
+task cigar_fitness_manual_access(pop: i64*, wt: f64*, fit: f64*, glen: i64,
+                                 i0: i64, cnt: i64) {
+  var i: i64; var g: i64;
+  for (i = i0; i < i0 + cnt; i = i + 1) {
+    for (g = 0; g < glen; g = g + 1) {
+      prefetch(wt[pop[i*glen + g]]);
+    }
+  }
+}
+"""
+
+
+class CigarWorkload(Workload):
+    """GA fitness evaluation over a chunked population."""
+
+    name = "cigar"
+    paper = PaperRow(
+        affine_loops=0, total_loops=1, tasks=10_576_778,
+        ta_percent=49.27, ta_usec=5.11,
+    )
+
+    genome_len = 32
+    individuals_per_task = 4
+
+    def source(self) -> str:
+        return SOURCE
+
+    def population(self, scale: int) -> int:
+        return 4 * 48 * scale
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        pop_n = self.population(scale)
+        glen = self.genome_len
+        # Weight table sized far beyond the simulated LLC working range
+        # of one task so gene gathers keep missing.
+        table = 1 << 15
+        pop = memory.alloc_array(
+            8, pop_n * glen, "pop", init=fill_ints(pop_n * glen, table, seed=47)
+        )
+        wt = memory.alloc_array(8, table, "wt", init=fill_floats(table, seed=53))
+        fit = memory.alloc_array(8, pop_n, "fit")
+
+        instances: list[TaskInstance] = []
+        for i0 in range(0, pop_n, self.individuals_per_task):
+            instances.append(
+                TaskInstance(
+                    kinds["cigar_fitness"],
+                    [pop, wt, fit, glen, i0, self.individuals_per_task],
+                )
+            )
+        return instances

@@ -1,0 +1,176 @@
+"""FFT (SPLASH-2 style radix-2, split re/im arrays).
+
+Non-affine: butterfly passes advance group-by-group with a runtime
+stride, the bit-reversal permutation is an indirection through a table,
+and the twiddle gather goes through an index map.  The parallel tasks
+call a ``bfly`` helper the compiler must inline first (Section 6.2.2:
+"the parallel tasks of the FFT kernel contain calls to other functions
+... compile time optimizations inline these functions").
+
+The manual access version was "generated from the unoptimized source
+code ... greatly simplified": it prefetches the data arrays linearly
+and skips the twiddle table entirely — faster access phase, less data.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats, fill_ints
+
+SOURCE = """
+// One radix-2 butterfly: (a, b) with twiddle w.
+func bfly(re: f64*, im: f64*, wre: f64*, wim: f64*, a: i64, b: i64, w: i64) {
+  var tr: f64; var ti: f64;
+  tr = re[b] * wre[w] - im[b] * wim[w];
+  ti = re[b] * wim[w] + im[b] * wre[w];
+  re[b] = re[a] - tr;
+  im[b] = im[a] - ti;
+  re[a] = re[a] + tr;
+  im[a] = im[a] + ti;
+}
+
+// Bit-reversal reordering of one chunk; rev[] is the permutation table.
+// Two top-level loops (re then im), each with a data-dependent swap.
+task fft_bitrev(re: f64*, im: f64*, rev: i64*, n0: i64, cnt: i64) {
+  var i: i64; var j: i64; var t: f64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    j = rev[i];
+    if (j > i) {
+      t = re[i]; re[i] = re[j]; re[j] = t;
+    }
+  }
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    j = rev[i];
+    if (j > i) {
+      t = im[i]; im[i] = im[j]; im[j] = t;
+    }
+  }
+}
+
+task fft_bitrev_manual_access(re: f64*, im: f64*, rev: i64*, n0: i64, cnt: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    prefetch(rev[i]);
+    prefetch(re[i]);
+    prefetch(im[i]);
+  }
+}
+
+// One butterfly pass over a chunk: groups of 2*half, runtime stride.
+// The twiddle index goes through wmap (gather).
+task fft_pass(re: f64*, im: f64*, wre: f64*, wim: f64*, wmap: i64*,
+              n0: i64, cnt: i64, half: i64) {
+  var g: i64; var j: i64;
+  for (g = n0; g < n0 + cnt; g = g + half + half) {
+    for (j = 0; j < half; j = j + 1) {
+      bfly(re, im, wre, wim, g + j, g + j + half, wmap[j]);
+    }
+  }
+}
+
+// Manual: prefetch the data linearly; the expert skips the twiddles
+// ("small, always cached") and the wmap table.
+task fft_pass_manual_access(re: f64*, im: f64*, wre: f64*, wim: f64*, wmap: i64*,
+                            n0: i64, cnt: i64, half: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    prefetch(re[i]);
+    prefetch(im[i]);
+  }
+}
+
+// Twiddle staging for the next pass: gather through the index map.
+// Two top-level loops (re and im tables).
+task fft_twiddles(wre: f64*, wim: f64*, src_re: f64*, src_im: f64*,
+                  wmap: i64*, cnt: i64) {
+  var j: i64;
+  for (j = 0; j < cnt; j = j + 1) {
+    wre[j] = src_re[wmap[j]];
+  }
+  for (j = 0; j < cnt; j = j + 1) {
+    wim[j] = src_im[wmap[j]];
+  }
+  // Unitarity touch-up pass, gathered through the same map.
+  for (j = 0; j < cnt; j = j + 1) {
+    wre[j] = wre[j] * 0.5 + src_re[wmap[j]] * 0.5;
+  }
+}
+
+task fft_twiddles_manual_access(wre: f64*, wim: f64*, src_re: f64*, src_im: f64*,
+                                wmap: i64*, cnt: i64) {
+  var j: i64;
+  for (j = 0; j < cnt; j = j + 1) {
+    prefetch(wmap[j]);
+  }
+}
+"""
+
+
+def _bit_reverse_table(n: int) -> list[int]:
+    bits = n.bit_length() - 1
+    table = []
+    for i in range(n):
+        r = 0
+        v = i
+        for _ in range(bits):
+            r = (r << 1) | (v & 1)
+            v >>= 1
+        table.append(r)
+    return table
+
+
+class FFTWorkload(Workload):
+    """Radix-2 FFT over 2^k points, chunked into tasks."""
+
+    name = "fft"
+    paper = PaperRow(
+        affine_loops=0, total_loops=6, tasks=82_304,
+        ta_percent=19.24, ta_usec=30.74,
+    )
+
+    def source(self) -> str:
+        return SOURCE
+
+    def points(self, scale: int) -> int:
+        return 1 << (11 + scale)  # 4096 at scale 1
+
+    chunk = 512
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        n = self.points(scale)
+        re = memory.alloc_array(8, n, "re", init=fill_floats(n, seed=3))
+        im = memory.alloc_array(8, n, "im", init=fill_floats(n, seed=5))
+        rev = memory.alloc_array(8, n, "rev", init=_bit_reverse_table(n))
+        wre = memory.alloc_array(8, n, "wre", init=fill_floats(n, seed=9))
+        wim = memory.alloc_array(8, n, "wim", init=fill_floats(n, seed=13))
+        src_re = memory.alloc_array(8, n, "src_re", init=fill_floats(n, seed=17))
+        src_im = memory.alloc_array(8, n, "src_im", init=fill_floats(n, seed=19))
+        wmap = memory.alloc_array(
+            8, n, "wmap", init=fill_ints(n, n // 2, seed=21)
+        )
+
+        instances: list[TaskInstance] = []
+        chunk = min(self.chunk, n)
+        for c0 in range(0, n, chunk):
+            instances.append(
+                TaskInstance(kinds["fft_bitrev"], [re, im, rev, c0, chunk])
+            )
+        half = 1
+        while half * 2 <= chunk:
+            instances.append(
+                TaskInstance(
+                    kinds["fft_twiddles"],
+                    [wre, wim, src_re, src_im, wmap, max(half, 16)],
+                )
+            )
+            for c0 in range(0, n, chunk):
+                instances.append(
+                    TaskInstance(
+                        kinds["fft_pass"],
+                        [re, im, wre, wim, wmap, c0, chunk, half],
+                    )
+                )
+            half *= 2
+        return instances

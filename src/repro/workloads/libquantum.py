@@ -1,0 +1,198 @@
+"""LibQ — libquantum (SPEC CPU2006 462.libquantum shape).
+
+Quantum register simulation: every gate sweeps the state vector and
+tests basis-state bits — data-dependent control flow on every
+iteration, so all six gate loops are non-affine (Table 1: 0/6).
+
+Like the real libquantum, the register is an **array of records**
+(``quantum_reg_node``): 32 bytes holding the basis state and the
+complex amplitude.  ``state`` points at the record base and ``amp`` at
+the amplitude fields of the same buffer, so ``state[4i]``, ``amp[4i]``
+(re) and ``amp[4i+1]`` (im) live on the same cache line.  The compiler-
+generated skeleton prefetches the state field of every record (one
+prefetch per 32 B record — two per line); the Manual DAE versions
+prefetch one address per 64 B line, which is the redundant-prefetch
+elimination the paper credits the expert with ("targeting data residing
+in the same cache line, such as different fields of a complex data
+structure", Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..ir import F64, I64
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats, fill_ints
+
+SOURCE = """
+// sigma-x (NOT) on target bit t (t passed as the power-of-two mask).
+// Records are 4 slots wide: [state, amp_re, amp_im, pad].
+task libq_not(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64) {
+  var i: i64; var s: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / t) % 2 == 1) {
+      state[4*i] = s - t;
+    } else {
+      state[4*i] = s + t;
+    }
+  }
+}
+
+// Manual: one prefetch per cache line (a line holds two records).
+task libq_not_manual_access(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+
+// Controlled-NOT: flip t when control c is set.
+task libq_cnot(state: i64*, amp: f64*, n0: i64, cnt: i64, c: i64, t: i64) {
+  var i: i64; var s: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / c) % 2 == 1) {
+      state[4*i] = s ^ t;
+    }
+  }
+}
+
+task libq_cnot_manual_access(state: i64*, amp: f64*, n0: i64, cnt: i64, c: i64, t: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+
+// Toffoli: flip t when both controls are set.
+task libq_toffoli(state: i64*, amp: f64*, n0: i64, cnt: i64,
+                  c1: i64, c2: i64, t: i64) {
+  var i: i64; var s: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / c1) % 2 == 1) {
+      if ((s / c2) % 2 == 1) {
+        state[4*i] = s ^ t;
+      }
+    }
+  }
+}
+
+task libq_toffoli_manual_access(state: i64*, amp: f64*, n0: i64, cnt: i64,
+                                c1: i64, c2: i64, t: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+
+// Conditional phase flip: negate the imaginary part when t is set.
+task libq_phase(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64) {
+  var i: i64; var s: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / t) % 2 == 1) {
+      amp[4*i + 1] = 0.0 - amp[4*i + 1];
+    }
+  }
+}
+
+task libq_phase_manual_access(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+
+// Amplitude damping: scale both fields when t is set.
+task libq_damp(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64, g: f64) {
+  var i: i64; var s: i64;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / t) % 2 == 1) {
+      amp[4*i] = amp[4*i] * g;
+      amp[4*i + 1] = amp[4*i + 1] * g;
+    }
+  }
+}
+
+task libq_damp_manual_access(state: i64*, amp: f64*, n0: i64, cnt: i64, t: i64, g: f64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+
+// Measurement probability of bit t over a span (reduction).
+task libq_prob(state: i64*, amp: f64*, out: f64*, n0: i64, cnt: i64,
+               t: i64, slot: i64) {
+  var i: i64; var s: i64; var acc: f64;
+  acc = 0.0;
+  for (i = n0; i < n0 + cnt; i = i + 1) {
+    s = state[4*i];
+    if ((s / t) % 2 == 1) {
+      acc = acc + amp[4*i] * amp[4*i] + amp[4*i + 1] * amp[4*i + 1];
+    }
+  }
+  out[slot] = acc;
+}
+
+task libq_prob_manual_access(state: i64*, amp: f64*, out: f64*, n0: i64, cnt: i64,
+                             t: i64, slot: i64) {
+  var i: i64;
+  for (i = n0; i < n0 + cnt; i = i + 2) {
+    prefetch(state[4*i]);
+  }
+}
+"""
+
+#: Record layout: [state, amp_re, amp_im, pad] — 32 bytes.
+RECORD_SLOTS = 4
+
+
+class LibQuantumWorkload(Workload):
+    """A Shor-like gate sequence over a chunked state vector."""
+
+    name = "libq"
+    paper = PaperRow(
+        affine_loops=0, total_loops=6, tasks=51_603_486,
+        ta_percent=47.01, ta_usec=2.64,
+    )
+
+    chunk = 480  # records per task: 480 * 32 B = 15 KiB (fits L1+L2)
+
+    def source(self) -> str:
+        return SOURCE
+
+    def states(self, scale: int) -> int:
+        return 480 * 8 * scale
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        n = self.states(scale)
+        base = memory.alloc_array(8, RECORD_SLOTS * n, "reg")
+        state_bits = fill_ints(n, 1 << 12, seed=41)
+        amps = fill_floats(2 * n, seed=43)
+        for i in range(n):
+            memory.store(base + 32 * i, I64, state_bits[i])
+            memory.store(base + 32 * i + 8, F64, amps[2 * i])
+            memory.store(base + 32 * i + 16, F64, amps[2 * i + 1])
+        state = base          # i64* at the record base
+        amp = base + 8        # f64* at the amplitude fields
+        out = memory.alloc_array(8, max(1, n // self.chunk), "out")
+
+        instances: list[TaskInstance] = []
+        gates = [
+            ("libq_not", lambda n0: [state, amp, n0, self.chunk, 4]),
+            ("libq_cnot", lambda n0: [state, amp, n0, self.chunk, 2, 8]),
+            ("libq_toffoli", lambda n0: [state, amp, n0, self.chunk, 2, 4, 16]),
+            ("libq_phase", lambda n0: [state, amp, n0, self.chunk, 8]),
+            ("libq_damp", lambda n0: [state, amp, n0, self.chunk, 16, 0.995]),
+            ("libq_prob",
+             lambda n0: [state, amp, out, n0, self.chunk, 4, n0 // self.chunk]),
+        ]
+        for name, make_args in gates:
+            for n0 in range(0, n, self.chunk):
+                instances.append(TaskInstance(kinds[name], make_args(n0)))
+        return instances

@@ -1,0 +1,151 @@
+"""LU decomposition (SPLASH-2 style, blocked right-looking).
+
+The paper's flagship affine kernel (Listings 1-3 are extracted from it):
+three task types — diagonal factorization, perimeter update, interior
+GEMM update — all handled by the polyhedral access generator (Table 1:
+3/3 affine loops).  The interior task touches three blocks of the same
+matrix, exercising class separation and nest merging.
+
+The manual access versions do *selective* prefetching (triangles instead
+of full blocks) — shorter access phase, at the price of execute-phase
+misses, which is exactly the Cholesky/LU trade-off of Section 6.2.1.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from .base import PaperRow, Workload, fill_floats
+
+SOURCE = """
+// Factor the B x B diagonal block at (D, D) in place (Listing 1(b)).
+task lu_diag(A: f64*, N: i64, D: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = i + 1; j < B; j = j + 1) {
+      A[(D+j)*N + D+i] = A[(D+j)*N + D+i] / A[(D+i)*N + D+i];
+      for (k = i + 1; k < B; k = k + 1) {
+        A[(D+j)*N + D+k] = A[(D+j)*N + D+k] - A[(D+j)*N + D+i] * A[(D+i)*N + D+k];
+      }
+    }
+  }
+}
+
+// Manual DAE: the expert prefetches only the lower triangle plus the
+// diagonal row being read, not the whole block.
+task lu_diag_manual_access(A: f64*, N: i64, D: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = i; j < B; j = j + 1) {
+      prefetch(A[(D+j)*N + D+i]);
+    }
+  }
+}
+
+// Update the perimeter block at (Rx, Ry) with the factored diagonal
+// block at (D, D) (Listing 3's two-blocks-of-one-array shape).
+task lu_perim(A: f64*, N: i64, D: i64, Rx: i64, Ry: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      for (k = 0; k < i; k = k + 1) {
+        A[(Rx+i)*N + Ry+j] = A[(Rx+i)*N + Ry+j]
+                           - A[(D+i)*N + D+k] * A[(Rx+k)*N + Ry+j];
+      }
+    }
+  }
+}
+
+// Manual DAE: prefetch the updated block; only the strict lower
+// triangle of the diagonal block is read, so prefetch just that.
+task lu_perim_manual_access(A: f64*, N: i64, D: i64, Rx: i64, Ry: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      prefetch(A[(Rx+i)*N + Ry+j]);
+    }
+    for (j = 0; j < i; j = j + 1) {
+      prefetch(A[(D+i)*N + D+j]);
+    }
+  }
+}
+
+// Interior GEMM update: block (Rx, Cy) -= block(Rx, Dy) * block(Dx, Cy).
+// Three same-extent classes -> the compiler merges them into one nest
+// (Listing 2(b) / 3(b)).
+task lu_inner(A: f64*, N: i64, Rx: i64, Cy: i64, Dx: i64, Dy: i64, B: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      for (k = 0; k < B; k = k + 1) {
+        A[(Rx+i)*N + Cy+j] = A[(Rx+i)*N + Cy+j]
+                           - A[(Rx+i)*N + Dy+k] * A[(Dx+k)*N + Cy+j];
+      }
+    }
+  }
+}
+
+// Manual DAE: the expert skips the row-panel block (Rx, Dy), reasoning
+// it is usually still cached from the previous update -> selective.
+task lu_inner_manual_access(A: f64*, N: i64, Rx: i64, Cy: i64, Dx: i64, Dy: i64, B: i64) {
+  var i: i64; var j: i64;
+  for (i = 0; i < B; i = i + 1) {
+    for (j = 0; j < B; j = j + 1) {
+      prefetch(A[(Rx+i)*N + Cy+j]);
+      prefetch(A[(Dx+i)*N + Cy+j]);
+    }
+  }
+}
+"""
+
+
+class LUWorkload(Workload):
+    """Blocked LU over an S*B x S*B matrix; one task per block step."""
+
+    name = "lu"
+    paper = PaperRow(
+        affine_loops=3, total_loops=3, tasks=89_440,
+        ta_percent=1.83, ta_usec=6.82,
+    )
+
+    #: Block side per scale step (working set ~ 3 blocks, fits L1/L2).
+    block = 12
+
+    def source(self) -> str:
+        return SOURCE
+
+    def grid(self, scale: int) -> int:
+        return 5 + scale  # S x S blocks
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        B = self.block
+        S = self.grid(scale)
+        N = S * B
+        # Diagonally dominant matrix => stable pivot-free factorization.
+        values = fill_floats(N * N)
+        for d in range(N):
+            values[d * N + d] += float(N)
+        base = memory.alloc_array(8, N * N, "A", init=values)
+
+        instances: list[TaskInstance] = []
+        for d in range(S):
+            D = d * B
+            instances.append(TaskInstance(kinds["lu_diag"], [base, N, D, B]))
+            for r in range(d + 1, S):
+                R = r * B
+                instances.append(
+                    TaskInstance(kinds["lu_perim"], [base, N, D, R, D, B])
+                )
+                instances.append(
+                    TaskInstance(kinds["lu_perim"], [base, N, D, D, R, B])
+                )
+            for r in range(d + 1, S):
+                for c in range(d + 1, S):
+                    instances.append(
+                        TaskInstance(
+                            kinds["lu_inner"],
+                            [base, N, r * B, c * B, D, D, B],
+                        )
+                    )
+        return instances

@@ -1,0 +1,151 @@
+"""Profile-guided hot-path access versions (Section 5.2.2 extension)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, SimMemory
+from repro.ir import Prefetch, verify_function
+from repro.transform import optimize_module
+from repro.transform.access_phase import (
+    AccessPhaseOptions,
+    BranchProfile,
+    generate_access_phase,
+    make_profiler,
+)
+
+# The guard is true for ~94% of elements: the amplitude gather behind
+# it is worth prefetching, but the default simplified CFG drops it.
+GUARDED = """
+task sweep(flags: i64*, data: f64*, out: f64*, n: i64) {
+  var i: i64; var acc: f64;
+  acc = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    if (flags[i] > 0) {
+      acc = acc + data[i];
+    }
+  }
+  out[0] = acc;
+}
+"""
+
+
+def build_world(n=64, hot=True):
+    memory = SimMemory()
+    flag_values = [0 if (i % 16 == 0) == hot else 1 for i in range(n)]
+    if hot:
+        flag_values = [0 if i % 16 == 0 else 1 for i in range(n)]  # 94% taken
+    else:
+        flag_values = [1 if i % 16 == 0 else 0 for i in range(n)]  # 6% taken
+    flags = memory.alloc_array(8, n, "flags", init=flag_values)
+    data = memory.alloc_array(8, n, "data", init=[0.5] * n)
+    out = memory.alloc_array(8, 1, "out")
+    return memory, [flags, data, out, n]
+
+
+def generate(hot=True, threshold=0.9):
+    module = compile_source(GUARDED)
+    optimize_module(module)
+    task = module.function("sweep")
+    memory, args = build_world(hot=hot)
+    options = AccessPhaseOptions(
+        profiler=make_profiler(memory, [args]),
+    )
+    options.skeleton.hot_path_threshold = threshold
+    result = generate_access_phase(task, options=options)
+    verify_function(result.access)
+    return result, memory, args
+
+
+class TestBranchProfile:
+    def test_records_fractions(self):
+        profile = BranchProfile()
+
+        class FakeBranch:
+            if_true = "T"
+            if_false = "F"
+
+        branch = FakeBranch()
+        for taken in (True, True, True, False):
+            profile.record(branch, taken)
+        assert profile.taken_fraction(branch) == pytest.approx(0.75)
+        assert profile.hot_successor(branch, 0.7) == "T"
+        assert profile.hot_successor(branch, 0.9) is None
+
+    def test_unknown_branch_returns_none(self):
+        profile = BranchProfile()
+        class FakeBranch:
+            pass
+        assert profile.taken_fraction(FakeBranch()) is None
+
+
+class TestHotPathGeneration:
+    def test_hot_branch_inlines_guarded_read(self):
+        result, memory, args = generate(hot=True)
+        assert result.skeleton_stats.hot_paths_taken == 1
+        # The data gather behind the hot guard is now prefetched.
+        prefetches = [
+            i for i in result.access.instructions() if isinstance(i, Prefetch)
+        ]
+        assert len(prefetches) == 2  # flags[i] and data[i]
+
+    def test_cold_branch_still_simplified(self):
+        result, memory, args = generate(hot=False)
+        # The hot successor is the *else* side (fall-through), which
+        # contains no reads — data[i] is not prefetched.
+        prefetches = [
+            i for i in result.access.instructions() if isinstance(i, Prefetch)
+        ]
+        assert len(prefetches) == 1  # only flags[i]
+
+    def test_unbiased_branch_falls_back_to_merge(self):
+        module = compile_source(GUARDED)
+        optimize_module(module)
+        task = module.function("sweep")
+        memory = SimMemory()
+        n = 64
+        flags = memory.alloc_array(8, n, "flags",
+                                   init=[i % 2 for i in range(n)])  # 50/50
+        data = memory.alloc_array(8, n, "data", init=[0.5] * n)
+        out = memory.alloc_array(8, 1, "out")
+        args = [flags, data, out, n]
+        result = generate_access_phase(task, options=AccessPhaseOptions(
+            profiler=make_profiler(memory, [args]),
+        ))
+        assert result.skeleton_stats.hot_paths_taken == 0
+
+    def test_hot_path_improves_coverage(self):
+        default = generate_access_phase(
+            _fresh_task(), options=AccessPhaseOptions()
+        )
+        result, memory, args = generate(hot=True)
+        cov_hot = _coverage(result.access, memory, args,
+                            _fresh_task_for(result))
+        # Fresh world for the default version.
+        memory2, args2 = build_world(hot=True)
+        cov_default = _coverage(default.access, memory2, args2, default.task)
+        assert cov_hot > cov_default
+
+    def test_without_profiler_behavior_unchanged(self):
+        module = compile_source(GUARDED)
+        optimize_module(module)
+        result = generate_access_phase(module.function("sweep"))
+        assert result.skeleton_stats.hot_paths_taken == 0
+
+
+def _fresh_task():
+    module = compile_source(GUARDED)
+    optimize_module(module)
+    return module.function("sweep")
+
+
+def _fresh_task_for(result):
+    return result.task
+
+
+def _coverage(access, memory, args, task):
+    loads, prefetches = set(), set()
+    Interpreter(memory, observer=lambda e: prefetches.add(e.address)
+                if e.kind == "prefetch" else None).run(access, args)
+    Interpreter(memory, observer=lambda e: loads.add(e.address)
+                if e.kind == "load" else None).run(task, args)
+    return len(loads & prefetches) / max(1, len(loads))

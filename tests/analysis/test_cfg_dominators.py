@@ -1,0 +1,124 @@
+"""CFG utilities, dominator tree and post-dominators."""
+
+from repro.analysis import (
+    DominatorTree,
+    predecessors_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.analysis.dominators import post_dominator_map
+from repro.frontend import compile_source
+from repro.transform import optimize_function
+
+DIAMOND = """
+task t(A: f64*, n: i64) {
+  var i: i64;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) {
+      A[i] = 1.0;
+    } else {
+      A[i] = 2.0;
+    }
+  }
+}
+"""
+
+
+def diamond_func():
+    module = compile_source(DIAMOND)
+    func = module.function("t")
+    optimize_function(func)
+    return func
+
+
+def block(func, name):
+    return func.block_named(name)
+
+
+class TestOrders:
+    def test_reverse_postorder_starts_at_entry(self):
+        func = diamond_func()
+        order = reverse_postorder(func)
+        assert order[0] is func.entry
+        assert len(order) == len(func.blocks)
+
+    def test_rpo_defs_before_uses(self):
+        func = diamond_func()
+        order = reverse_postorder(func)
+        positions = {b.name: i for i, b in enumerate(order)}
+        assert positions["for.cond"] < positions["for.body"]
+        assert positions["for.body"] < positions["if.then"]
+
+    def test_predecessors_map_consistent(self):
+        func = diamond_func()
+        preds = predecessors_map(func)
+        for b in func.blocks:
+            for succ in b.successors():
+                assert b in preds[succ]
+
+
+class TestReachability:
+    def test_all_blocks_reachable_after_lowering(self):
+        func = diamond_func()
+        assert reachable_blocks(func) == set(func.blocks)
+
+    def test_remove_unreachable_blocks(self):
+        func = diamond_func()
+        orphan = func.add_block("orphan")
+        from repro.ir import IRBuilder
+        IRBuilder(orphan).ret()
+        removed = remove_unreachable_blocks(func)
+        assert removed == 1
+        assert orphan not in func.blocks
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        func = diamond_func()
+        dom = DominatorTree(func)
+        for b in func.blocks:
+            assert dom.dominates(func.entry, b)
+
+    def test_branch_arms_do_not_dominate_merge(self):
+        func = diamond_func()
+        dom = DominatorTree(func)
+        assert not dom.dominates(block(func, "if.then"), block(func, "if.end"))
+        assert dom.dominates(block(func, "for.body"), block(func, "if.end"))
+
+    def test_strict_dominance_irreflexive(self):
+        func = diamond_func()
+        dom = DominatorTree(func)
+        assert not dom.strictly_dominates(func.entry, func.entry)
+        assert dom.strictly_dominates(func.entry, block(func, "for.body"))
+
+    def test_dominance_frontier_of_arms_is_merge(self):
+        func = diamond_func()
+        dom = DominatorTree(func)
+        frontiers = dom.dominance_frontiers()
+        assert block(func, "if.end") in frontiers[block(func, "if.then")]
+        assert block(func, "if.end") in frontiers[block(func, "if.else")]
+
+    def test_loop_body_frontier_contains_header(self):
+        func = diamond_func()
+        dom = DominatorTree(func)
+        frontiers = dom.dominance_frontiers()
+        assert block(func, "for.cond") in frontiers[block(func, "for.body")]
+
+
+class TestPostDominators:
+    def test_merge_postdominates_arms(self):
+        func = diamond_func()
+        pdom = post_dominator_map(func)
+        assert pdom[block(func, "if.then")] is block(func, "if.end")
+        assert pdom[block(func, "if.else")] is block(func, "if.end")
+
+    def test_branch_block_postdominated_by_merge(self):
+        func = diamond_func()
+        pdom = post_dominator_map(func)
+        assert pdom[block(func, "for.body")] is block(func, "if.end")
+
+    def test_exit_block_has_no_postdominator(self):
+        func = diamond_func()
+        pdom = post_dominator_map(func)
+        assert pdom[block(func, "for.end")] is None

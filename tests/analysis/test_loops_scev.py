@@ -1,0 +1,159 @@
+"""Natural loops, induction variables, and scalar evolution."""
+
+from repro.analysis import LinearExpr, LoopInfo, ScalarEvolution
+from repro.frontend import compile_source
+from repro.transform import optimize_function
+from tests.conftest import LU_KERNEL, compile_optimized
+
+
+def analyzed(source, name):
+    module = compile_source(source)
+    func = module.function(name)
+    optimize_function(func)
+    info = LoopInfo(func)
+    return func, info, ScalarEvolution(info)
+
+
+class TestLoopDiscovery:
+    def test_lu_has_three_nested_loops(self, lu_module):
+        func = lu_module.function("lu_kernel")
+        info = LoopInfo(func)
+        assert len(info.loops) == 3
+        depths = sorted(l.depth for l in info.loops)
+        assert depths == [1, 2, 3]
+
+    def test_nesting_parents(self, lu_module):
+        func = lu_module.function("lu_kernel")
+        info = LoopInfo(func)
+        inner = max(info.loops, key=lambda l: l.depth)
+        assert inner.parent is not None
+        assert inner.parent.parent is not None
+        assert inner.parent.parent.parent is None
+
+    def test_top_level_loops(self, lu_module):
+        func = lu_module.function("lu_kernel")
+        info = LoopInfo(func)
+        assert len(info.top_level()) == 1
+
+    def test_sequential_loops_are_siblings(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { A[i] = 1.0; }"
+               " for (i = 0; i < n; i = i + 1) { A[i] = 2.0; } }")
+        func, info, _ = analyzed(src, "t")
+        assert len(info.loops) == 2
+        assert all(l.parent is None for l in info.loops)
+
+    def test_exit_blocks(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { A[i] = 1.0; } }")
+        func, info, _ = analyzed(src, "t")
+        (loop,) = info.loops
+        assert len(loop.exiting_blocks()) == 1
+        assert len(loop.exit_blocks()) == 1
+
+    def test_no_loops_in_straightline_code(self):
+        src = "task t(A: f64*) { A[0] = 1.0; }"
+        func, info, _ = analyzed(src, "t")
+        assert info.loops == []
+
+
+class TestInductionVariables:
+    def test_canonical_iv_found(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64;"
+               " for (i = 2; i < n; i = i + 1) { A[i] = 1.0; } }")
+        func, info, scev = analyzed(src, "t")
+        iv = info.loops[0].induction_variable()
+        assert iv is not None
+        bounds = scev.iv_bounds(iv.phi)
+        assert bounds is not None
+        init, bound, predicate = bounds
+        assert init.constant_value == 2
+        assert predicate == "slt"
+
+    def test_while_countdown_recognized(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64 = n;"
+               " while (i > 0) { i = i - 1; A[i] = 0.0; } }")
+        func, info, _ = analyzed(src, "t")
+        iv = info.loops[0].induction_variable()
+        assert iv is not None
+        assert int(iv.step.value) == -1
+
+    def test_non_constant_step_rejected_by_scev(self):
+        src = ("task t(A: f64*, n: i64, s: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + s) { A[i] = 1.0; } }")
+        func, info, scev = analyzed(src, "t")
+        iv_phis = [l.induction_variable() for l in info.loops]
+        # loop structure exists but scev cannot linearize the phi
+        for iv in iv_phis:
+            if iv is not None:
+                assert scev.linear(iv.phi) is None
+
+
+class TestLinearExpr:
+    def test_add_and_subtract(self):
+        a = LinearExpr.constant(3)
+        b = LinearExpr.constant(4)
+        assert (a + b).constant_value == 7
+        assert (a - b).constant_value == -1
+
+    def test_multiply_constant_folding(self):
+        a = LinearExpr.constant(3)
+        b = LinearExpr.constant(5)
+        assert a.multiply(b).constant_value == 15
+
+    def test_equality_and_hash(self):
+        assert LinearExpr.constant(0) == LinearExpr({})
+        assert hash(LinearExpr.constant(2)) == hash(LinearExpr.constant(2))
+
+
+class TestScalarEvolution:
+    def test_affine_index_recovered(self):
+        func = compile_optimized(LU_KERNEL).function("lu_kernel")
+        info = LoopInfo(func)
+        scev = ScalarEvolution(info)
+        from repro.ir import GEP
+        geps = [i for i in func.instructions() if isinstance(i, GEP)]
+        assert geps
+        for gep in geps:
+            expr = scev.linear(gep.index)
+            assert expr is not None
+            # every index is affine over at most 2 IVs with N strides
+            assert len(expr.induction_phis()) <= 2
+
+    def test_loads_are_not_linear(self):
+        src = ("task t(A: i64*, B: f64*, n: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { B[A[i]] = 1.0; } }")
+        func, info, scev = analyzed(src, "t")
+        from repro.ir import GEP
+        geps = [i for i in func.instructions() if isinstance(i, GEP)]
+        kinds = {scev.linear(g.index) is None for g in geps}
+        assert True in kinds  # the gather index is non-linear
+
+    def test_iv_times_iv_is_nonlinear(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64; var j: i64;"
+               " for (i = 0; i < n; i = i + 1) {"
+               "  for (j = 0; j < n; j = j + 1) { A[i*j] = 1.0; } } }")
+        func, info, scev = analyzed(src, "t")
+        from repro.ir import GEP
+        (gep,) = [i for i in func.instructions() if isinstance(i, GEP)]
+        assert scev.linear(gep.index) is None
+
+    def test_parameter_products_allowed_as_strides(self):
+        src = ("task t(A: f64*, n: i64, m: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { A[i*n*m] = 1.0; } }")
+        func, info, scev = analyzed(src, "t")
+        from repro.ir import GEP
+        (gep,) = [i for i in func.instructions() if isinstance(i, GEP)]
+        expr = scev.linear(gep.index)
+        assert expr is not None
+        ((iv, mono),) = [k for k in expr.terms]
+        assert iv is not None and len(mono) == 2
+
+    def test_cycle_in_phis_handled(self):
+        src = ("task t(A: f64*, n: i64) { var a: i64 = 0; var b: i64 = 1;"
+               " var i: i64; for (i = 0; i < n; i = i + 1) {"
+               "  var tmp: i64 = a; a = b; b = tmp; A[a] = 1.0; } }")
+        func, info, scev = analyzed(src, "t")
+        from repro.ir import GEP
+        (gep,) = [i for i in func.instructions() if isinstance(i, GEP)]
+        assert scev.linear(gep.index) is None  # swap-phi is not an IV

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.transform import optimize_module
+
+
+def compile_optimized(source: str):
+    """Parse, lower and optimize a task-language module; verify all."""
+    module = compile_source(source)
+    optimize_module(module)
+    for func in module.functions.values():
+        verify_function(func)
+    return module
+
+
+LU_KERNEL = """
+task lu_kernel(A: f64*, N: i64, block: i64) {
+  var i: i64; var j: i64; var k: i64;
+  for (i = 0; i < block; i = i + 1) {
+    for (j = i + 1; j < block; j = j + 1) {
+      A[j*N + i] = A[j*N + i] / A[i*N + i];
+      for (k = i + 1; k < block; k = k + 1) {
+        A[j*N + k] = A[j*N + k] - A[j*N + i] * A[i*N + k];
+      }
+    }
+  }
+}
+"""
+
+POINTER_CHASE = """
+task chase(head: i64*, next: i64*, data: f64*, n: i64) {
+  var p: i64; var s: f64;
+  p = head[0];
+  s = 0.0;
+  while (p >= 0) {
+    if (data[p] > 0.5) {
+      s = s + data[p];
+    }
+    p = next[p];
+  }
+  data[0] = s;
+}
+"""
+
+
+@pytest.fixture
+def lu_module():
+    return compile_optimized(LU_KERNEL)
+
+
+@pytest.fixture
+def chase_module():
+    return compile_optimized(POINTER_CHASE)

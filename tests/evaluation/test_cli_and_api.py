@@ -1,0 +1,59 @@
+"""The evaluation CLI and the top-level public API."""
+
+import pytest
+
+import repro
+from repro.evaluation.__main__ import main
+
+
+class TestCLI:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "lu_block" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "classes detected" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_docstring_flow(self):
+        module = repro.compile_source(
+            "task t(A: f64*, n: i64) { var i: i64;"
+            " for (i = 0; i < n; i = i + 1) { A[i] = A[i] + 1.0; } }"
+        )
+        repro.optimize_module(module)
+        result = repro.generate_access_phase(
+            module.function("t"), module=module
+        )
+        assert result.method == "affine"
+        assert "t_access" in module.functions
+
+    def test_module_level_generation(self):
+        module = repro.compile_source(
+            "task a(A: f64*) { A[0] = 1.0; }"
+            "task b(B: f64*) { B[1] = B[1] * 2.0; }"
+        )
+        repro.optimize_module(module)
+        results = repro.generate_module_access_phases(module)
+        assert set(results) == {"a", "b"}
+
+    def test_machine_configs(self):
+        scaled = repro.MachineConfig()
+        full = repro.sandybridge_full()
+        assert full.l1.size_bytes > scaled.l1.size_bytes
+        assert full.operating_points == scaled.operating_points

@@ -1,0 +1,157 @@
+"""Lowering tests: AST to verified IR, via interpretation for semantics."""
+
+import pytest
+
+from repro.frontend import LoweringError, compile_source
+from repro.interp import Interpreter, SimMemory
+from repro.ir import Load, Store, verify_function
+from repro.transform import optimize_function
+
+
+def run_function(source, name, args, setup=None):
+    module = compile_source(source)
+    func = module.function(name)
+    verify_function(func)
+    memory = SimMemory()
+    env_args = setup(memory) if setup else args
+    trace = Interpreter(memory).run(func, env_args)
+    return trace, memory
+
+
+class TestScalarSemantics:
+    def test_arithmetic_and_return(self):
+        src = "func f(a: i64, b: i64) -> i64 { return a * b + 2; }"
+        trace, _ = run_function(src, "f", [6, 7])
+        assert trace.return_value == 44
+
+    def test_division_truncates_toward_zero(self):
+        src = "func f(a: i64, b: i64) -> i64 { return a / b; }"
+        assert run_function(src, "f", [7, 2])[0].return_value == 3
+        assert run_function(src, "f", [-7, 2])[0].return_value == -3
+
+    def test_modulo(self):
+        src = "func f(a: i64, b: i64) -> i64 { return a % b; }"
+        assert run_function(src, "f", [7, 3])[0].return_value == 1
+
+    def test_mixed_int_float_promotes(self):
+        src = "func f(a: i64) -> f64 { return a + 0.5; }"
+        assert run_function(src, "f", [2])[0].return_value == 2.5
+
+    def test_unary_not(self):
+        src = "func f(a: i64) -> i64 { if (!(a == 3)) { return 1; } return 0; }"
+        assert run_function(src, "f", [3])[0].return_value == 0
+        assert run_function(src, "f", [4])[0].return_value == 1
+
+    def test_logical_and_or(self):
+        src = ("func f(a: i64, b: i64) -> i64 {"
+               " if (a > 0 && b > 0 || a == b) { return 1; } return 0; }")
+        assert run_function(src, "f", [1, 1])[0].return_value == 1
+        assert run_function(src, "f", [-2, -2])[0].return_value == 1
+        assert run_function(src, "f", [-1, 2])[0].return_value == 0
+
+
+class TestControlFlow:
+    def test_for_loop_sum(self):
+        src = ("func f(n: i64) -> i64 { var s: i64 = 0; var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }")
+        assert run_function(src, "f", [10])[0].return_value == 45
+
+    def test_nested_loops(self):
+        src = ("func f(n: i64) -> i64 { var s: i64 = 0; var i: i64; var j: i64;"
+               " for (i = 0; i < n; i = i + 1) {"
+               "   for (j = 0; j < i; j = j + 1) { s = s + 1; } }"
+               " return s; }")
+        assert run_function(src, "f", [5])[0].return_value == 10
+
+    def test_while_loop(self):
+        src = ("func f(n: i64) -> i64 { var c: i64 = 0;"
+               " while (n > 1) { if (n % 2 == 0) { n = n / 2; }"
+               " else { n = 3 * n + 1; } c = c + 1; } return c; }")
+        assert run_function(src, "f", [6])[0].return_value == 8  # collatz(6)
+
+    def test_early_return_in_branch(self):
+        src = ("func f(a: i64) -> i64 {"
+               " if (a < 0) { return 0 - a; } return a; }")
+        assert run_function(src, "f", [-5])[0].return_value == 5
+
+    def test_dead_code_after_return_ignored(self):
+        src = "func f() -> i64 { return 1; return 2; }"
+        assert run_function(src, "f", [])[0].return_value == 1
+
+
+class TestMemoryLowering:
+    def test_array_read_write(self):
+        src = ("task t(A: f64*, n: i64) { var i: i64;"
+               " for (i = 0; i < n; i = i + 1) { A[i] = A[i] * 2.0; } }")
+
+        def setup(memory):
+            base = memory.alloc_array(8, 4, "A", init=[1.0, 2.0, 3.0, 4.0])
+            setup.base = base
+            return [base, 4]
+
+        _, memory = run_function(src, "t", None, setup)
+        from repro.ir import F64
+        values = memory.read_array(setup.base, 8, 4, F64)
+        assert values == [2.0, 4.0, 6.0, 8.0]
+
+    def test_pointer_to_pointer_indexing(self):
+        src = "func f(rows: i64**) -> i64 { return rows[1][2]; }"
+        module = compile_source(src)
+        func = module.function("f")
+        loads = [i for i in func.instructions() if isinstance(i, Load)]
+        # row pointer load + element load + alloca traffic
+        assert len(loads) >= 2
+
+    def test_pointer_plus_integer_is_gep(self):
+        src = "func f(A: f64*, i: i64) -> f64 { var p: f64* = A + i; return p[0]; }"
+        trace, _ = run_function(src, "f", None, setup=lambda m: [
+            m.alloc_array(8, 4, "A", init=[0.5, 1.5, 2.5, 3.5]), 2,
+        ])
+        assert trace.return_value == 2.5
+
+
+class TestCalls:
+    def test_call_lowering_and_coercion(self):
+        src = ("func scale(x: f64, k: f64) -> f64 { return x * k; }"
+               "func f(a: i64) -> f64 { return scale(a, 2.5); }")
+        assert run_function(src, "f", [4])[0].return_value == 10.0
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("func f() { g(); }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source(
+                "func g(a: i64) -> i64 { return a; }"
+                "func f() -> i64 { return g(1, 2); }"
+            )
+
+
+class TestLoweringErrors:
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("func f() { x = 1; }")
+
+    def test_fall_off_nonvoid_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("func f() -> i64 { var x: i64 = 1; }")
+
+    def test_indexing_non_pointer_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("func f(n: i64) -> i64 { return n[0]; }")
+
+
+class TestOptimizedStillCorrect:
+    def test_mem2reg_preserves_semantics(self):
+        src = ("func f(n: i64) -> i64 { var a: i64 = 0; var b: i64 = 1;"
+               " var i: i64; for (i = 0; i < n; i = i + 1) {"
+               " var t: i64 = a + b; a = b; b = t; } return a; }")
+        module = compile_source(src)
+        func = module.function("f")
+        before = Interpreter(SimMemory()).run(func, [10]).return_value
+        optimize_function(func)
+        after = Interpreter(SimMemory()).run(func, [10]).return_value
+        assert before == after == 55  # fib(10)
+        # All scalar traffic should be promoted away.
+        assert not any(isinstance(i, (Load, Store)) for i in func.instructions())

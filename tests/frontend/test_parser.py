@@ -1,0 +1,145 @@
+"""Parser tests: declaration/statement/expression structure."""
+
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend import ast
+
+
+def parse_task_body(body: str):
+    program = parse("task t(A: f64*, n: i64) { %s }" % body)
+    return program.functions[0].body
+
+
+class TestDeclarations:
+    def test_task_and_func_flags(self):
+        program = parse("func f(x: i64) -> i64 { return x; } task t() { }")
+        assert not program.functions[0].is_task
+        assert program.functions[1].is_task
+
+    def test_params_parsed_with_types(self):
+        program = parse("task t(A: f64*, n: i64, B: i64**) { }")
+        params = program.functions[0].params
+        assert [p.name for p in params] == ["A", "n", "B"]
+        assert params[0].type.pointer_depth == 1
+        assert params[2].type.pointer_depth == 2
+
+    def test_return_type_optional(self):
+        program = parse("func f() { return; }")
+        assert program.functions[0].return_type is None
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse("task t(x: banana) { }")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        (stmt,) = parse_task_body("var x: i64 = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.init, ast.IntLiteral)
+
+    def test_for_loop_components(self):
+        (stmt,) = parse_task_body("for (n = 0; n < 10; n = n + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert isinstance(stmt.cond, ast.BinaryExpr)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_loop_parts_optional(self):
+        (stmt,) = parse_task_body("for (;;) { }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_loop(self):
+        (stmt,) = parse_task_body("while (n > 0) { n = n - 1; }")
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body) == 1
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_task_body(
+            "if (n == 0) { } else if (n == 1) { } else { n = 2; }"
+        )
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert len(nested.else_body) == 1
+
+    def test_prefetch_statement(self):
+        (stmt,) = parse_task_body("prefetch(A[n]);")
+        assert isinstance(stmt, ast.PrefetchStmt)
+        assert isinstance(stmt.address, ast.IndexExpr)
+
+    def test_array_store(self):
+        (stmt,) = parse_task_body("A[n] = 1.5;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.IndexExpr)
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_task_body("1 = 2;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_task_body("n = 1")
+
+
+class TestExpressions:
+    def expr(self, text):
+        (stmt,) = parse_task_body("n = %s;" % text)
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_add_over_compare(self):
+        e = self.expr("n + 1 < 10")
+        assert e.op == "<"
+        assert e.lhs.op == "+"
+
+    def test_bitand_binds_tighter_than_compare(self):
+        e = self.expr("n & 1 == 1")
+        assert e.op == "=="
+        assert e.lhs.op == "&"
+
+    def test_logical_and_or(self):
+        e = self.expr("n > 0 && n < 5 || n == 9")
+        assert e.op == "||"
+        assert e.lhs.op == "&&"
+
+    def test_unary_minus_and_not(self):
+        e = self.expr("-n")
+        assert isinstance(e, ast.UnaryExpr) and e.op == "-"
+        e = self.expr("!(n == 1)")
+        assert isinstance(e, ast.UnaryExpr) and e.op == "!"
+
+    def test_nested_indexing(self):
+        e = self.expr("A[A[n]]")
+        assert isinstance(e, ast.IndexExpr)
+        assert isinstance(e.index, ast.IndexExpr)
+
+    def test_call_with_args(self):
+        program = parse(
+            "func f(x: i64) -> i64 { return x; }"
+            "task t(n: i64) { var y: i64 = f(n + 1); }"
+        )
+        init = program.functions[1].body[0].init
+        assert isinstance(init, ast.CallExpr)
+        assert init.callee == "f"
+        assert len(init.args) == 1
+
+    def test_cast_expression(self):
+        e = self.expr("(f64) n" )
+        assert isinstance(e, ast.CastExpr)
+        assert e.target.name == "f64"
+
+    def test_parenthesized_expression(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_unexpected_token_reports_line(self):
+        with pytest.raises(ParseError) as err:
+            parse("task t() {\n  n = ;\n}")
+        assert "line 2" in str(err.value)

@@ -1,0 +1,202 @@
+"""Tests for instruction construction, use lists, and mutation."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    F64,
+    GEP,
+    I64,
+    VOID,
+    Alloca,
+    BinOp,
+    Cmp,
+    CondBr,
+    Constant,
+    Function,
+    IRBuilder,
+    Jump,
+    Load,
+    Phi,
+    Prefetch,
+    Ret,
+    Store,
+    pointer_to,
+)
+
+
+def make_func():
+    func = Function("f", [pointer_to(F64), I64], ["A", "n"], VOID)
+    block = func.add_block("entry")
+    return func, block, IRBuilder(block)
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        add = b.add(n, Constant(I64, 1))
+        assert add in n.uses
+
+    def test_replace_all_uses_with(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        one = Constant(I64, 1)
+        add = b.add(n, one)
+        mul = b.mul(add, n)
+        add.replace_all_uses_with(one)
+        assert mul.operands[0] is one
+        assert mul not in add.uses
+        assert mul in one.uses
+
+    def test_duplicate_operand_counted_twice(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        add = b.add(n, n)
+        assert n.uses.count(add) == 2
+
+    def test_erase_from_parent_drops_uses(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        add = b.add(n, Constant(I64, 2))
+        add.erase_from_parent()
+        assert add not in n.uses
+        assert add not in block.instructions
+
+    def test_replace_operand_single_slot(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        two = Constant(I64, 2)
+        three = Constant(I64, 3)
+        add = b.add(n, two)
+        add.replace_operand(two, three)
+        assert add.rhs is three
+        assert add not in two.uses
+
+
+class TestTypeChecking:
+    def test_binop_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinOp("add", Constant(I64, 1), Constant(F64, 1.0))
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("frobnicate", Constant(I64, 1), Constant(I64, 1))
+
+    def test_cmp_yields_bool(self):
+        cmp = Cmp("slt", Constant(I64, 1), Constant(I64, 2))
+        assert cmp.type == BOOL
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("ult", Constant(I64, 1), Constant(I64, 2))
+
+    def test_gep_requires_pointer_base(self):
+        with pytest.raises(TypeError):
+            GEP(Constant(I64, 0), Constant(I64, 0))
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(Constant(I64, 0))
+
+    def test_store_value_must_match_pointee(self):
+        func, block, b = make_func()
+        a = func.arg_named("A")
+        with pytest.raises(TypeError):
+            Store(Constant(I64, 1), a)  # A is f64*
+
+    def test_prefetch_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Prefetch(Constant(I64, 0))
+
+
+class TestGEP:
+    def test_element_size_from_pointee(self):
+        func, block, b = make_func()
+        gep = b.gep(func.arg_named("A"), Constant(I64, 3))
+        assert gep.element_size == 8
+
+    def test_gep_result_is_same_pointer_type(self):
+        func, block, b = make_func()
+        a = func.arg_named("A")
+        gep = b.gep(a, Constant(I64, 1))
+        assert gep.type == a.type
+
+
+class TestTerminators:
+    def test_jump_successors(self):
+        func, block, b = make_func()
+        target = func.add_block("t")
+        jump = Jump(target)
+        assert jump.successors() == [target]
+
+    def test_condbr_successors_and_replace(self):
+        func, block, b = make_func()
+        t1, t2, t3 = (func.add_block(x) for x in "xyz")
+        br = CondBr(Cmp("eq", Constant(I64, 0), Constant(I64, 0)), t1, t2)
+        assert br.successors() == [t1, t2]
+        br.replace_successor(t1, t3)
+        assert br.successors() == [t3, t2]
+
+    def test_ret_value_optional(self):
+        assert Ret().value is None
+        assert Ret(Constant(I64, 7)).value is not None
+
+    def test_cannot_append_past_terminator(self):
+        func, block, b = make_func()
+        b.ret()
+        with pytest.raises(ValueError):
+            block.append(Jump(block))
+
+
+class TestPhi:
+    def test_incoming_tracked_with_blocks(self):
+        func, entry, b = make_func()
+        other = func.add_block("other")
+        phi = Phi(I64)
+        phi.add_incoming(Constant(I64, 1), entry)
+        phi.add_incoming(Constant(I64, 2), other)
+        assert phi.incoming_for_block(entry).value == 1
+        assert phi.incoming_for_block(other).value == 2
+
+    def test_incoming_type_mismatch_rejected(self):
+        func, entry, b = make_func()
+        phi = Phi(I64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(Constant(F64, 1.0), entry)
+
+    def test_remove_incoming_block(self):
+        func, entry, b = make_func()
+        other = func.add_block("other")
+        value = Constant(I64, 5)
+        phi = Phi(I64)
+        phi.add_incoming(value, entry)
+        phi.add_incoming(Constant(I64, 6), other)
+        phi.remove_incoming_block(entry)
+        assert phi.incoming_for_block(entry) is None
+        assert phi not in value.uses
+
+    def test_clone_preserves_incoming(self):
+        func, entry, b = make_func()
+        phi = Phi(I64)
+        phi.add_incoming(Constant(I64, 1), entry)
+        clone = phi.clone()
+        assert clone.incoming_blocks == [entry]
+        assert clone.operands[0].value == 1
+
+
+class TestClone:
+    def test_clone_shares_operands_but_not_identity(self):
+        func, block, b = make_func()
+        n = func.arg_named("n")
+        add = b.add(n, Constant(I64, 1))
+        clone = add.clone()
+        assert clone is not add
+        assert clone.lhs is n
+        assert clone.op == "add"
+        assert clone in n.uses
+
+    def test_alloca_clone_keeps_allocated_type(self):
+        inst = Alloca(F64)
+        clone = inst.clone()
+        assert clone.allocated_type == F64

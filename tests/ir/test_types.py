@@ -1,0 +1,76 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    pointer_to,
+)
+
+
+class TestStructuralEquality:
+    def test_same_width_ints_equal(self):
+        assert IntType(32) == IntType(32)
+
+    def test_different_width_ints_differ(self):
+        assert IntType(32) != IntType(64)
+
+    def test_int_is_not_float(self):
+        assert IntType(32) != FloatType(32)
+
+    def test_pointer_equality_follows_pointee(self):
+        assert pointer_to(F64) == pointer_to(F64)
+        assert pointer_to(F64) != pointer_to(F32)
+
+    def test_types_usable_as_dict_keys(self):
+        table = {IntType(64): "a", pointer_to(F64): "b"}
+        assert table[I64] == "a"
+        assert table[pointer_to(FloatType(64))] == "b"
+
+    def test_nested_pointer_equality(self):
+        assert pointer_to(pointer_to(I32)) == pointer_to(pointer_to(I32))
+
+
+class TestSizes:
+    @pytest.mark.parametrize("ty,size", [
+        (BOOL, 1), (I8, 1), (I32, 4), (I64, 8), (F32, 4), (F64, 8),
+    ])
+    def test_scalar_sizes(self, ty, size):
+        assert ty.size_bytes == size
+
+    def test_pointer_is_eight_bytes(self):
+        assert pointer_to(I8).size_bytes == 8
+
+    def test_void_has_no_size(self):
+        assert VOID.size_bytes == 0
+
+
+class TestPredicates:
+    def test_kind_predicates(self):
+        assert I64.is_integer() and not I64.is_float()
+        assert F32.is_float() and not F32.is_pointer()
+        assert pointer_to(F64).is_pointer()
+        assert VOID.is_void()
+
+
+class TestInvalidTypes:
+    def test_unsupported_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(12)
+
+    def test_unsupported_float_width_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)

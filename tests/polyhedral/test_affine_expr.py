@@ -1,0 +1,97 @@
+"""AffineExpr and Constraint algebra, with hypothesis properties."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.polyhedral import AffineExpr, Constraint
+
+SYMS = ("i", "j", "N")
+
+
+def exprs():
+    coeff = st.integers(min_value=-6, max_value=6)
+    return st.builds(
+        lambda cs, const: AffineExpr(dict(zip(SYMS, cs)), const),
+        st.tuples(coeff, coeff, coeff),
+        st.integers(min_value=-20, max_value=20),
+    )
+
+
+def points():
+    v = st.integers(min_value=-10, max_value=10)
+    return st.builds(lambda a, b, c: dict(zip(SYMS, (a, b, c))), v, v, v)
+
+
+class TestAlgebraProperties:
+    @given(exprs(), exprs(), points())
+    def test_addition_pointwise(self, a, b, p):
+        assert (a + b).evaluate(p) == a.evaluate(p) + b.evaluate(p)
+
+    @given(exprs(), exprs(), points())
+    def test_subtraction_pointwise(self, a, b, p):
+        assert (a - b).evaluate(p) == a.evaluate(p) - b.evaluate(p)
+
+    @given(exprs(), st.integers(min_value=-5, max_value=5), points())
+    def test_scaling_pointwise(self, a, k, p):
+        assert (a * k).evaluate(p) == k * a.evaluate(p)
+
+    @given(exprs())
+    def test_negation_roundtrip(self, a):
+        assert -(-a) == a
+
+    @given(exprs())
+    def test_zero_coefficients_dropped(self, a):
+        assert all(c != 0 for c in a.coeffs.values())
+
+    @given(exprs(), points())
+    def test_content_normalization_preserves_sign(self, a, p):
+        normalized = a.content_normalized()
+        lhs = a.evaluate(p)
+        rhs = normalized.evaluate(p)
+        assert (lhs > 0) == (rhs > 0) and (lhs == 0) == (rhs == 0)
+
+
+class TestExprBasics:
+    def test_substitute(self):
+        expr = AffineExpr.symbol("i") * 2 + AffineExpr.symbol("j")
+        substituted = expr.substitute("i", AffineExpr.symbol("j") + 1)
+        assert substituted == AffineExpr({"j": 3}, 2)
+
+    def test_drop(self):
+        expr = AffineExpr({"i": 1, "j": 2}, 3)
+        assert expr.drop("i") == AffineExpr({"j": 2}, 3)
+
+    def test_evaluate_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.symbol("i").evaluate({})
+
+    def test_scaled_to_integer(self):
+        expr = AffineExpr({"i": Fraction(1, 2)}, Fraction(1, 3))
+        scaled = expr.scaled_to_integer()
+        assert scaled.is_integral()
+        assert scaled.coeff("i") == 3 and scaled.const == 2
+
+    def test_repr_readable(self):
+        expr = AffineExpr({"i": 1, "j": -1}, 4)
+        text = repr(expr)
+        assert "i" in text and "j" in text and "4" in text
+
+
+class TestConstraints:
+    def test_ge_le_eq_constructors(self):
+        i = AffineExpr.symbol("i")
+        assert Constraint.ge(i, 3).satisfied_by({"i": 3})
+        assert not Constraint.ge(i, 3).satisfied_by({"i": 2})
+        assert Constraint.le(i, 3).satisfied_by({"i": 3})
+        assert not Constraint.le(i, 3).satisfied_by({"i": 4})
+        assert Constraint.eq(i, 3).satisfied_by({"i": 3})
+        assert not Constraint.eq(i, 3).satisfied_by({"i": 4})
+
+    def test_constraints_normalized_for_equality(self):
+        i = AffineExpr.symbol("i")
+        a = Constraint.ge(i * 2 - 4)
+        b = Constraint.ge(i - 2)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,139 @@
+"""Polyhedron operations: FM projection, emptiness, enumeration, unions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedral import AffineExpr as E, Constraint as C, Polyhedron
+from repro.polyhedral import union_count, union_enumerate
+
+
+def box(lo_i, hi_i, lo_j, hi_j, params=()):
+    i, j = E.symbol("i"), E.symbol("j")
+    return Polyhedron(
+        ["i", "j"],
+        [C.ge(i - lo_i), C.le(i, hi_i), C.ge(j - lo_j), C.le(j, hi_j)],
+        params,
+    )
+
+
+class TestEnumeration:
+    def test_box_count(self):
+        assert box(0, 3, 0, 2).count_points({}) == 12
+
+    def test_triangle_count(self):
+        i, j = E.symbol("i"), E.symbol("j")
+        tri = Polyhedron(["i", "j"], [
+            C.ge(i), C.le(i, 4), C.ge(j), C.le(j, i),
+        ])
+        assert tri.count_points({}) == 15  # 1+2+3+4+5
+
+    def test_parametric_count(self):
+        i = E.symbol("i")
+        n = E.symbol("N")
+        line = Polyhedron(["i"], [C.ge(i), C.le(i, n - 1)], ["N"])
+        assert line.count_points({"N": 7}) == 7
+
+    def test_equality_linked_dims(self):
+        i, j = E.symbol("i"), E.symbol("j")
+        diag = Polyhedron(["i", "j"], [
+            C.ge(i), C.le(i, 5), C.eq(i - j),
+        ])
+        points = sorted(diag.enumerate_points({}))
+        assert points == [(k, k) for k in range(6)]
+
+    def test_empty_range_yields_nothing(self):
+        assert box(3, 2, 0, 1).count_points({}) == 0
+
+    def test_unbounded_raises(self):
+        i = E.symbol("i")
+        half = Polyhedron(["i"], [C.ge(i)])
+        with pytest.raises(ValueError):
+            list(half.enumerate_points({}))
+
+    def test_enumeration_limit(self):
+        with pytest.raises(ValueError):
+            box(0, 1000, 0, 1000).count_points({}, limit=10)
+
+
+class TestProjection:
+    def test_eliminate_inner_dim(self):
+        tri = Polyhedron(["i", "j"], [
+            C.ge(E.symbol("i")), C.le(E.symbol("i"), 4),
+            C.ge(E.symbol("j") - E.symbol("i")), C.le(E.symbol("j"), 6),
+        ])
+        proj = tri.eliminate("j")
+        assert proj.dims == ["i"]
+        assert proj.count_points({}) == 5
+
+    def test_projection_is_shadow(self):
+        poly = box(1, 4, 2, 5)
+        proj = poly.project_onto(["i"])
+        assert sorted(p[0] for p in proj.enumerate_points({})) == [1, 2, 3, 4]
+
+    def test_equality_substitution_exact(self):
+        i, j = E.symbol("i"), E.symbol("j")
+        poly = Polyhedron(["i", "j"], [
+            C.eq(j - i * 2), C.ge(i), C.le(i, 3),
+        ])
+        proj = poly.eliminate("i")
+        values = sorted(p[0] for p in proj.enumerate_points({}))
+        # j = 2i, rationally the projection is the interval [0, 6]
+        assert values[0] == 0 and values[-1] == 6
+
+
+class TestEmptiness:
+    def test_contradiction_detected(self):
+        i = E.symbol("i")
+        poly = Polyhedron(["i"], [C.ge(i - 5), C.le(i, 3)])
+        assert poly.is_empty()
+
+    def test_feasible_not_empty(self):
+        assert not box(0, 3, 0, 3).is_empty()
+
+    def test_parametric_emptiness_is_rational(self):
+        i = E.symbol("i")
+        n = E.symbol("N")
+        poly = Polyhedron(["i"], [C.ge(i - n), C.le(i, n)], ["N"])
+        assert not poly.is_empty()  # i == N works for any N
+
+    def test_infeasible_equalities(self):
+        i = E.symbol("i")
+        poly = Polyhedron(["i"], [C.eq(i - 1), C.eq(i - 2)])
+        assert poly.is_empty()
+
+
+class TestUnions:
+    def test_union_count_disjoint(self):
+        a, b = box(0, 1, 0, 1), box(5, 6, 5, 6)
+        assert union_count([a, b], {}) == 8
+
+    def test_union_count_overlapping(self):
+        a, b = box(0, 2, 0, 2), box(1, 3, 1, 3)
+        # 9 + 9 - 4 overlap
+        assert union_count([a, b], {}) == 14
+
+    def test_union_count_matches_enumeration(self):
+        a, b, c = box(0, 2, 0, 2), box(2, 4, 1, 3), box(1, 3, 2, 5)
+        assert union_count([a, b, c], {}) == len(union_enumerate([a, b, c], {}))
+
+    def test_param_substitution(self):
+        i = E.symbol("i")
+        n = E.symbol("N")
+        poly = Polyhedron(["i"], [C.ge(i), C.le(i, n)], ["N"])
+        fixed = poly.with_param_values({"N": 4})
+        assert fixed.params == []
+        assert fixed.count_points({}) == 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 4), st.integers(0, 4), st.integers(0, 4), st.integers(0, 4),
+    st.integers(0, 4), st.integers(0, 4), st.integers(0, 4), st.integers(0, 4),
+)
+def test_union_count_inclusion_exclusion_property(
+    a1, a2, b1, b2, c1, c2, d1, d2,
+):
+    """Inclusion-exclusion equals direct enumeration on random boxes."""
+    p = box(min(a1, a2), max(a1, a2), min(b1, b2), max(b1, b2))
+    q = box(min(c1, c2), max(c1, c2), min(d1, d2), max(d1, d2))
+    assert union_count([p, q], {}) == len(union_enumerate([p, q], {}))

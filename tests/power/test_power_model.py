@@ -1,0 +1,119 @@
+"""Power model and frequency-policy tests (Section 3.2)."""
+
+import pytest
+
+from repro.power import (
+    EnergyBreakdown,
+    FixedPolicy,
+    MinMaxPolicy,
+    OptimalEDPPolicy,
+    dynamic_power,
+    edp,
+    effective_capacitance,
+    optimal_edp_point,
+    phase_edp_at,
+    phase_energy,
+    static_power,
+    total_power,
+    transition_energy,
+)
+from repro.sim import AccessCounts, MachineConfig, PhaseProfile
+
+
+def profile(instructions=1000, slots=1000, mem_misses=0):
+    counts = AccessCounts()
+    counts.loads["mem"] = mem_misses
+    return PhaseProfile(instructions=instructions, slots=slots, counts=counts)
+
+
+class TestCeffModel:
+    def test_paper_formula(self):
+        config = MachineConfig()
+        assert effective_capacitance(0.0, config) == pytest.approx(1.64)
+        assert effective_capacitance(2.0, config) == pytest.approx(
+            0.19 * 2 + 1.64
+        )
+
+    def test_dynamic_power_quadratic_in_voltage(self):
+        config = MachineConfig()
+        fmax = config.fmax
+        fmin = config.fmin
+        ratio = dynamic_power(fmax, 1.0, config) / dynamic_power(
+            fmin, 1.0, config
+        )
+        expected = (fmax.freq_ghz * fmax.voltage ** 2) / (
+            fmin.freq_ghz * fmin.voltage ** 2
+        )
+        assert ratio == pytest.approx(expected)
+
+    def test_static_power_scales_with_cores(self):
+        config = MachineConfig()
+        one = static_power(config.fmax, 1, config)
+        four = static_power(config.fmax, 4, config)
+        assert four == pytest.approx(4 * one)
+
+    def test_total_power_realistic_magnitude(self):
+        config = MachineConfig()
+        watts = total_power(config.fmax, 2.0, 4, config)
+        assert 20 < watts < 100  # Sandy Bridge package ballpark
+
+
+class TestEnergyAndEDP:
+    def test_phase_energy_is_power_times_time(self):
+        config = MachineConfig()
+        breakdown = phase_energy(1000.0, config.fmax, 1.0, config)
+        assert breakdown.time_ns == 1000.0
+        assert breakdown.power_w == pytest.approx(
+            total_power(config.fmax, 1.0, 1, config)
+        )
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(10.0, 100.0)
+        b = EnergyBreakdown(5.0, 25.0)
+        total = a + b
+        assert total.time_ns == 15.0 and total.energy_nj == 125.0
+
+    def test_transition_counts_static_energy_only(self):
+        config = MachineConfig()
+        breakdown = transition_energy(config, config.fmax)
+        assert breakdown.time_ns == config.dvfs_transition_ns
+        expected = static_power(config.fmax, 1, config) * breakdown.time_ns
+        assert breakdown.energy_nj == pytest.approx(expected)
+
+    def test_edp_units(self):
+        assert edp(1e9, 1e9) == pytest.approx(1.0)  # 1 s * 1 J
+
+
+class TestPolicies:
+    def test_minmax_policy(self):
+        config = MachineConfig()
+        policy = MinMaxPolicy()
+        assert policy.access_point(profile(), config) is config.fmin
+        assert policy.execute_point(profile(), config) is config.fmax
+
+    def test_fixed_policy(self):
+        config = MachineConfig()
+        point = config.operating_points[2]
+        policy = FixedPolicy(point)
+        assert policy.access_point(profile(), config) is point
+        assert policy.execute_point(profile(), config) is point
+
+    def test_optimal_picks_low_f_for_memory_bound(self):
+        config = MachineConfig()
+        memory_bound = profile(instructions=50, slots=50, mem_misses=500)
+        point = optimal_edp_point(memory_bound, config)
+        assert point.freq_ghz == config.fmin.freq_ghz
+
+    def test_optimal_picks_high_f_for_compute_bound(self):
+        config = MachineConfig()
+        compute_bound = profile(instructions=100_000, slots=100_000)
+        point = optimal_edp_point(compute_bound, config)
+        assert point.freq_ghz >= 2.8
+
+    def test_optimal_is_argmin_of_phase_edp(self):
+        config = MachineConfig()
+        mixed = profile(instructions=5000, slots=5000, mem_misses=40)
+        best = optimal_edp_point(mixed, config)
+        best_value = phase_edp_at(mixed, best, config)
+        for point in config.operating_points:
+            assert best_value <= phase_edp_at(mixed, point, config) + 1e-18

@@ -1,0 +1,86 @@
+"""Task-stream profiler: schemes, cache warm-up, aggregation."""
+
+import pytest
+
+from repro.runtime import ProfileError, TaskStreamProfiler
+from repro.sim import MachineConfig
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def cg_setup():
+    w = workload_by_name("cg")
+    compiled = w.compile()
+    return w, compiled
+
+
+def profile_scheme(setup, scheme):
+    w, compiled = setup
+    memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+    return TaskStreamProfiler(memory, MachineConfig()).profile(tasks, scheme)
+
+
+class TestSchemes:
+    def test_cae_has_no_access_phases(self, cg_setup):
+        stream = profile_scheme(cg_setup, "cae")
+        assert all(t.access is None for t in stream.tasks)
+
+    def test_dae_has_access_phases(self, cg_setup):
+        stream = profile_scheme(cg_setup, "dae")
+        assert all(t.access is not None for t in stream.tasks)
+
+    def test_manual_uses_manual_functions(self, cg_setup):
+        stream = profile_scheme(cg_setup, "manual")
+        assert all(t.access is not None for t in stream.tasks)
+
+    def test_unknown_scheme_rejected(self, cg_setup):
+        w, compiled = cg_setup
+        memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+        with pytest.raises(ProfileError):
+            TaskStreamProfiler(memory, MachineConfig()).profile(tasks, "bogus")
+
+
+class TestWarmup:
+    def test_prefetching_removes_execute_misses(self, cg_setup):
+        """The core DAE effect: after the access phase the execute phase
+        is (nearly) compute-bound — Section 3.1."""
+        cae = profile_scheme(cg_setup, "cae").aggregate_execute()
+        dae = profile_scheme(cg_setup, "dae").aggregate_execute()
+        cae_misses = (
+            cae.counts.loads["mem"] + cae.counts.loads["mem_stream"]
+        )
+        dae_misses = (
+            dae.counts.loads["mem"] + dae.counts.loads["mem_stream"]
+        )
+        assert dae_misses < cae_misses * 0.25
+
+    def test_access_phase_absorbs_the_misses(self, cg_setup):
+        dae = profile_scheme(cg_setup, "dae")
+        access = dae.aggregate_access()
+        assert access.counts.prefetch_mem_misses > 0
+
+    def test_execute_instruction_counts_equal_across_schemes(self, cg_setup):
+        cae = profile_scheme(cg_setup, "cae").aggregate_execute()
+        dae = profile_scheme(cg_setup, "dae").aggregate_execute()
+        assert cae.instructions == dae.instructions
+
+    def test_access_phase_is_memory_bound(self, cg_setup):
+        config = MachineConfig()
+        dae = profile_scheme(cg_setup, "dae")
+        access = dae.aggregate_access()
+        execute = dae.aggregate_execute()
+        assert access.memory_boundedness(config) > execute.memory_boundedness(
+            config
+        )
+
+    def test_access_time_frequency_insensitive(self, cg_setup):
+        """The property DVFS exploits: the access phase's wall-clock time
+        barely moves between fmin and fmax."""
+        config = MachineConfig()
+        access = profile_scheme(cg_setup, "dae").aggregate_access()
+        t_min = access.time_ns(config.fmin, config)
+        t_max = access.time_ns(config.fmax, config)
+        execute = profile_scheme(cg_setup, "dae").aggregate_execute()
+        e_min = execute.time_ns(config.fmin, config)
+        e_max = execute.time_ns(config.fmax, config)
+        assert t_min / t_max < e_min / e_max

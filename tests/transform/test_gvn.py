@@ -1,0 +1,136 @@
+"""Global value numbering tests."""
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, SimMemory
+from repro.ir import GEP, BinOp, verify_function
+from repro.transform import global_value_numbering, mem2reg
+from repro.transform.dce import dead_code_elimination
+
+
+def prepared(source, name):
+    func = compile_source(source).function(name)
+    mem2reg(func)
+    return func
+
+
+def count_op(func, op):
+    return sum(
+        1 for i in func.instructions()
+        if isinstance(i, BinOp) and i.op == op
+    )
+
+
+class TestRedundancyElimination:
+    def test_repeated_address_arithmetic_merged(self):
+        func = prepared(
+            "task t(A: f64*, N: i64, j: i64, i: i64) {"
+            " A[j*N + i] = A[j*N + i] * 2.0; }", "t",
+        )
+        before = count_op(func, "mul")
+        removed = global_value_numbering(func)
+        verify_function(func)
+        assert removed >= 2  # mul and add recomputation
+        assert count_op(func, "mul") < before
+        geps = [i for i in func.instructions() if isinstance(i, GEP)]
+        assert len(geps) == 1  # load and store share the address
+
+    def test_commutative_operands_match(self):
+        func = prepared(
+            "func f(a: i64, b: i64) -> i64 { return a*b + b*a; }", "f",
+        )
+        global_value_numbering(func)
+        assert count_op(func, "mul") == 1
+
+    def test_non_commutative_not_merged(self):
+        func = prepared(
+            "func f(a: i64, b: i64) -> i64 { return (a - b) + (b - a); }", "f",
+        )
+        global_value_numbering(func)
+        assert count_op(func, "sub") == 2
+
+    def test_loads_never_merged(self):
+        func = prepared(
+            "func f(A: f64*) -> f64 { A[0] = A[0] + 1.0; return A[0]; }", "f",
+        )
+        from repro.ir import Load
+        before = sum(1 for i in func.instructions() if isinstance(i, Load))
+        global_value_numbering(func)
+        after = sum(1 for i in func.instructions() if isinstance(i, Load))
+        assert before == after  # memory may have changed between loads
+
+
+class TestScoping:
+    def test_dominating_expression_reused_in_branches(self):
+        func = prepared(
+            "func f(a: i64, b: i64) -> i64 {"
+            " var x: i64 = a * b;"
+            " if (a > 0) { x = x + a * b; } else { x = x - a * b; }"
+            " return x; }", "f",
+        )
+        global_value_numbering(func)
+        assert count_op(func, "mul") == 1
+
+    def test_sibling_branches_do_not_share(self):
+        func = prepared(
+            "func f(a: i64, b: i64) -> i64 { var x: i64 = 0;"
+            " if (a > 0) { x = a * b; } else { x = a * b; } return x; }", "f",
+        )
+        global_value_numbering(func)
+        # Neither arm dominates the other: both keep their multiply.
+        assert count_op(func, "mul") == 2
+
+    def test_loop_body_reuses_header_computation(self):
+        func = prepared(
+            "func f(n: i64, k: i64) -> i64 { var s: i64 = 0; var i: i64;"
+            " for (i = 0; i < n * k; i = i + 1) { s = s + n * k; }"
+            " return s; }", "f",
+        )
+        global_value_numbering(func)
+        assert count_op(func, "mul") == 1
+
+
+class TestSemanticsPreserved:
+    def test_lu_kernel_unchanged_semantics(self):
+        src = (
+            "task t(A: f64*, N: i64, B: i64) { var i: i64; var j: i64;"
+            " for (i = 0; i < B; i = i + 1) {"
+            "  for (j = 0; j < B; j = j + 1) {"
+            "   A[i*N + j] = A[i*N + j] + A[j*N + i]; } } }"
+        )
+        N, B = 6, 4
+        init = [float(i) for i in range(N * N)]
+
+        def run(optimize):
+            func = compile_source(src).function("t")
+            mem2reg(func)
+            if optimize:
+                global_value_numbering(func)
+                dead_code_elimination(func)
+                verify_function(func)
+            memory = SimMemory()
+            base = memory.alloc_array(8, N * N, "A", init=list(init))
+            Interpreter(memory).run(func, [base, N, B])
+            from repro.ir import F64
+            return memory.read_array(base, 8, N * N, F64)
+
+        assert run(False) == run(True)
+
+    def test_gvn_shrinks_dynamic_instruction_count(self):
+        src = (
+            "task t(A: f64*, N: i64, B: i64) { var i: i64; var j: i64;"
+            " for (i = 0; i < B; i = i + 1) {"
+            "  for (j = 0; j < B; j = j + 1) {"
+            "   A[i*N + j] = A[i*N + j] * 0.5 + A[i*N + j]; } } }"
+        )
+
+        def dynamic_count(optimize):
+            func = compile_source(src).function("t")
+            mem2reg(func)
+            if optimize:
+                global_value_numbering(func)
+                dead_code_elimination(func)
+            memory = SimMemory()
+            base = memory.alloc_array(8, 64, "A", init=[1.0] * 64)
+            return Interpreter(memory).run(func, [base, 8, 8]).instructions
+
+        assert dynamic_count(True) < dynamic_count(False)

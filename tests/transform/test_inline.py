@@ -1,0 +1,131 @@
+"""Function inlining tests."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, SimMemory
+from repro.ir import Call, verify_function
+from repro.transform import (
+    InlineError,
+    can_inline,
+    inline_all_calls,
+    optimize_function,
+)
+
+
+def get(module_src, name):
+    return compile_source(module_src), name
+
+
+class TestInlining:
+    SRC = (
+        "func square(x: i64) -> i64 { return x * x; }"
+        "func f(n: i64) -> i64 { return square(n) + square(n + 1); }"
+    )
+
+    def test_inline_removes_calls(self):
+        module = compile_source(self.SRC)
+        func = module.function("f")
+        count = inline_all_calls(func)
+        assert count == 2
+        assert not any(isinstance(i, Call) for i in func.instructions())
+        verify_function(func)
+
+    def test_inline_preserves_semantics(self):
+        module = compile_source(self.SRC)
+        func = module.function("f")
+        before = Interpreter(SimMemory()).run(func, [4]).return_value
+        inline_all_calls(func)
+        optimize_function(func)
+        after = Interpreter(SimMemory()).run(func, [4]).return_value
+        assert before == after == 41
+
+    def test_inline_void_call_with_memory_effects(self):
+        src = (
+            "func store2(A: f64*, i: i64) { A[i] = 2.0; }"
+            "task t(A: f64*) { store2(A, 1); store2(A, 3); }"
+        )
+        module = compile_source(src)
+        func = module.function("t")
+        inline_all_calls(func)
+        verify_function(func)
+        memory = SimMemory()
+        base = memory.alloc_array(8, 4, "A")
+        Interpreter(memory).run(func, [base])
+        from repro.ir import F64
+        assert memory.load(base + 8, F64) == 2.0
+        assert memory.load(base + 24, F64) == 2.0
+
+    def test_inline_callee_with_control_flow(self):
+        src = (
+            "func clamp(x: i64) -> i64 {"
+            " if (x > 10) { return 10; } return x; }"
+            "func f(n: i64) -> i64 { return clamp(n * 3); }"
+        )
+        module = compile_source(src)
+        func = module.function("f")
+        inline_all_calls(func)
+        optimize_function(func)
+        run = lambda v: Interpreter(SimMemory()).run(func, [v]).return_value
+        assert run(2) == 6
+        assert run(5) == 10
+
+    def test_nested_calls_inline_to_fixpoint(self):
+        src = (
+            "func a(x: i64) -> i64 { return x + 1; }"
+            "func b(x: i64) -> i64 { return a(x) * 2; }"
+            "func f(x: i64) -> i64 { return b(x) + a(x); }"
+        )
+        module = compile_source(src)
+        func = module.function("f")
+        inline_all_calls(func)
+        assert not any(isinstance(i, Call) for i in func.instructions())
+        optimize_function(func)
+        assert Interpreter(SimMemory()).run(func, [3]).return_value == 12
+
+
+class TestInlineLegality:
+    def test_recursive_function_not_inlinable(self):
+        src = (
+            "func fact(n: i64) -> i64 {"
+            " if (n <= 1) { return 1; } return n * fact(n - 1); }"
+            "func f(n: i64) -> i64 { return fact(n); }"
+        )
+        module = compile_source(src)
+        assert not can_inline(module.function("fact"))
+        with pytest.raises(InlineError):
+            inline_all_calls(module.function("f"))
+
+    def test_no_inline_marker_respected(self):
+        src = (
+            "func ext(x: i64) -> i64 { return x; }"
+            "func f(x: i64) -> i64 { return ext(x); }"
+        )
+        module = compile_source(src)
+        module.function("ext").no_inline = True
+        with pytest.raises(InlineError):
+            inline_all_calls(module.function("f"))
+
+    def test_mutual_recursion_detected(self):
+        # Build mutual recursion manually (the frontend lowers in order,
+        # so use IR-level patching).
+        src = (
+            "func even(n: i64) -> i64 { if (n == 0) { return 1; }"
+            " return n; }"
+            "func odd(n: i64) -> i64 { if (n == 0) { return 0; }"
+            " return even(n - 1); }"
+        )
+        module = compile_source(src)
+        even = module.function("even")
+        odd = module.function("odd")
+        # Patch even to call odd, closing the cycle.
+        from repro.ir import Call as CallInst, Ret
+        for block in even.blocks:
+            term = block.terminator
+            if isinstance(term, Ret) and term.value is not None:
+                call = CallInst(odd, [even.args[0]])
+                block.insert_before(call, term)
+                term.replace_operand(term.value, call)
+                break
+        assert not can_inline(even)
+        assert not can_inline(odd)

@@ -1,0 +1,109 @@
+"""Cross-workload safety invariants of every generated access version.
+
+These are the properties that make the access phase a *legal* prefetch
+slice (Section 5): it never writes memory, it always prefetches
+something, it is verifier-clean, and it contains no calls (everything
+was inlined first).  Checked for all 21 task kinds across the 7
+workloads, for both the compiler-generated and the hand-written access
+versions.
+"""
+
+import pytest
+
+from repro.ir import Call, Prefetch, Store, verify_function
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def all_compiled():
+    return [cls().compile() for cls in ALL_WORKLOADS]
+
+
+def all_kinds(all_compiled):
+    for compiled in all_compiled:
+        for kind in compiled.kinds.values():
+            yield compiled.name, kind
+
+
+class TestAccessVersionInvariants:
+    def test_every_access_version_verifies(self, all_compiled):
+        for name, kind in all_kinds(all_compiled):
+            verify_function(kind.access)
+            verify_function(kind.manual_access)
+
+    def test_no_stores_anywhere(self, all_compiled):
+        for name, kind in all_kinds(all_compiled):
+            for func in (kind.access, kind.manual_access):
+                stores = [i for i in func.instructions()
+                          if isinstance(i, Store)]
+                assert not stores, "%s/%s writes memory" % (name, func.name)
+
+    def test_no_calls_survive_inlining(self, all_compiled):
+        for name, kind in all_kinds(all_compiled):
+            calls = [i for i in kind.access.instructions()
+                     if isinstance(i, Call)]
+            assert not calls, "%s/%s still calls" % (name, kind.name)
+
+    def test_every_access_version_prefetches(self, all_compiled):
+        for name, kind in all_kinds(all_compiled):
+            prefetches = [i for i in kind.access.instructions()
+                          if isinstance(i, Prefetch)]
+            assert prefetches, "%s/%s prefetches nothing" % (name, kind.name)
+
+    def test_signatures_match_execute_version(self, all_compiled):
+        for name, kind in all_kinds(all_compiled):
+            for func in (kind.access, kind.manual_access):
+                assert len(func.args) == len(kind.execute.args)
+                assert [a.type for a in func.args] == [
+                    a.type for a in kind.execute.args
+                ]
+
+    def test_skeleton_access_statically_leaner(self, all_compiled):
+        """A skeleton is a slice of the original, so it can only shrink.
+
+        (Affine access versions are *dynamically* leaner — a depth-2
+        scan replacing a depth-3 nest — but their generated bound
+        computations can be statically larger, so they are exempt.)
+        """
+        for name, kind in all_kinds(all_compiled):
+            if kind.method != "skeleton":
+                continue
+            if any(isinstance(i, Call) for i in kind.execute.instructions()):
+                # The slice is taken after inlining; a compact call site
+                # in the execute version is not a fair static baseline.
+                continue
+            execute_size = sum(len(b) for b in kind.execute.blocks)
+            access_size = sum(len(b) for b in kind.access.blocks)
+            assert access_size <= execute_size, (
+                "%s/%s access not leaner" % (name, kind.name)
+            )
+
+
+class TestDeterminism:
+    def test_compilation_is_deterministic(self):
+        from repro.ir import format_function
+        from repro.workloads import LUWorkload
+
+        a = LUWorkload().compile()
+        b = LUWorkload().compile()
+        for name in a.kinds:
+            assert format_function(a.kinds[name].access) == format_function(
+                b.kinds[name].access
+            )
+
+    def test_profiling_is_deterministic(self):
+        from repro.runtime import TaskStreamProfiler
+        from repro.sim import MachineConfig
+        from repro.workloads import CGWorkload
+
+        config = MachineConfig()
+        w = CGWorkload()
+        compiled = w.compile()
+
+        def run():
+            memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+            stream = TaskStreamProfiler(memory, config).profile(tasks, "dae")
+            agg = stream.aggregate_execute()
+            return (agg.instructions, agg.slots, dict(agg.counts.loads))
+
+        assert run() == run()

@@ -1,0 +1,56 @@
+"""Workload-framework helpers: deterministic fills, compile caching."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.timing import SLOT_COSTS, issue_slots
+from repro.interp.interpreter import ExecutionTrace
+from repro.workloads import fill_floats, fill_ints
+from repro.workloads.base import MANUAL_SUFFIX, PaperRow
+
+
+class TestFills:
+    def test_fill_floats_deterministic(self):
+        assert fill_floats(16, seed=7) == fill_floats(16, seed=7)
+        assert fill_floats(16, seed=7) != fill_floats(16, seed=8)
+
+    def test_fill_floats_in_unit_interval(self):
+        assert all(0.0 < v < 1.01 for v in fill_floats(500))
+
+    @given(st.integers(1, 200), st.integers(2, 1000))
+    def test_fill_ints_in_range(self, n, modulo):
+        values = fill_ints(n, modulo)
+        assert len(values) == n
+        assert all(0 <= v < modulo for v in values)
+
+    def test_fill_ints_deterministic(self):
+        assert fill_ints(32, 100, seed=3) == fill_ints(32, 100, seed=3)
+
+
+class TestIssueSlots:
+    def test_default_cost_is_one(self):
+        trace = ExecutionTrace(by_opcode={"add": 10})
+        assert issue_slots(trace) == 10
+
+    def test_weighted_costs(self):
+        trace = ExecutionTrace(by_opcode={"fdiv": 2, "fmul": 3, "gep": 100})
+        assert issue_slots(trace) == 2 * SLOT_COSTS["fdiv"] + 3 * SLOT_COSTS["fmul"]
+
+    def test_address_math_is_free(self):
+        assert SLOT_COSTS["gep"] == 0
+        assert SLOT_COSTS["phi"] == 0
+
+
+class TestFrameworkConventions:
+    def test_manual_suffix_matches_sources(self):
+        from repro.workloads import ALL_WORKLOADS
+        for cls in ALL_WORKLOADS:
+            source = cls().source()
+            assert MANUAL_SUFFIX in source, cls.name
+
+    def test_paper_rows_complete(self):
+        from repro.workloads import ALL_WORKLOADS
+        for cls in ALL_WORKLOADS:
+            row = cls.paper
+            assert isinstance(row, PaperRow)
+            assert row.tasks > 0
+            assert 0 <= row.affine_loops <= row.total_loops

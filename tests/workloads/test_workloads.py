@@ -1,0 +1,144 @@
+"""Workload compilation, classification (Table 1 structure), numerics."""
+
+import pytest
+
+from repro.interp import Interpreter, SimMemory
+from repro.ir import F64, verify_function
+from repro.workloads import ALL_WORKLOADS, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def compiled_all():
+    return {cls.name: cls().compile() for cls in ALL_WORKLOADS}
+
+
+class TestClassification:
+    """The compile-time half of Table 1 must match the paper exactly."""
+
+    @pytest.mark.parametrize("name,affine,total", [
+        ("lu", 3, 3), ("cholesky", 3, 3), ("fft", 0, 6), ("lbm", 0, 1),
+        ("libq", 0, 6), ("cigar", 0, 1), ("cg", 0, 2),
+    ])
+    def test_affine_loop_counts_match_paper(self, compiled_all, name,
+                                            affine, total):
+        compiled = compiled_all[name]
+        assert compiled.affine_loops() == affine
+        assert compiled.total_loops() == total
+
+    def test_affine_workloads_use_polyhedral_path(self, compiled_all):
+        for name in ("lu", "cholesky"):
+            for result in compiled_all[name].results.values():
+                assert result.method == "affine"
+
+    def test_non_affine_workloads_use_skeleton_path(self, compiled_all):
+        for name in ("fft", "lbm", "libq", "cigar", "cg"):
+            for result in compiled_all[name].results.values():
+                assert result.method == "skeleton"
+
+    def test_every_task_has_both_access_versions(self, compiled_all):
+        for compiled in compiled_all.values():
+            for kind in compiled.kinds.values():
+                assert kind.access is not None, kind.name
+                assert kind.manual_access is not None, kind.name
+                verify_function(kind.access)
+
+    def test_access_functions_added_to_module(self, compiled_all):
+        compiled = compiled_all["lu"]
+        assert "lu_diag_access" in compiled.module.functions
+
+
+class TestInstantiation:
+    def test_every_workload_builds_tasks(self, compiled_all):
+        for cls in ALL_WORKLOADS:
+            w = cls()
+            memory, instances, _ = w.instantiate(
+                scale=1, compiled=compiled_all[w.name]
+            )
+            assert instances, w.name
+            assert all(i.kind.execute is not None for i in instances)
+
+    def test_scale_grows_task_count(self, compiled_all):
+        w = workload_by_name("libq")
+        _, small, _ = w.instantiate(scale=1, compiled=compiled_all["libq"])
+        _, big, _ = w.instantiate(scale=2, compiled=compiled_all["libq"])
+        assert len(big) > len(small)
+
+
+class TestLUNumerics:
+    def test_lu_diag_matches_reference(self, compiled_all):
+        """The diagonal task is a complete small LU factorization."""
+        compiled = compiled_all["lu"]
+        func = compiled.kinds["lu_diag"].execute
+        N = B = 6
+        values = [1.0 if (i // N) != (i % N) else N + 2.0
+                  for i in range(N * N)]
+        for i in range(N * N):
+            values[i] += 0.01 * i
+
+        memory = SimMemory()
+        base = memory.alloc_array(8, N * N, "A", init=list(values))
+        Interpreter(memory).run(func, [base, N, 0, B])
+        got = memory.read_array(base, 8, N * N, F64)
+
+        # Pure-python Doolittle reference.
+        ref = [list(values[r * N:(r + 1) * N]) for r in range(N)]
+        for i in range(B):
+            for j in range(i + 1, B):
+                ref[j][i] /= ref[i][i]
+                for k in range(i + 1, B):
+                    ref[j][k] -= ref[j][i] * ref[i][k]
+        flat = [ref[r][c] for r in range(N) for c in range(N)]
+        assert got == pytest.approx(flat)
+
+    def test_access_version_does_not_change_matrix(self, compiled_all):
+        compiled = compiled_all["lu"]
+        kind = compiled.kinds["lu_diag"]
+        N = B = 6
+        memory = SimMemory()
+        base = memory.alloc_array(
+            8, N * N, "A", init=[float(i + 1) for i in range(N * N)]
+        )
+        before = memory.read_array(base, 8, N * N, F64)
+        Interpreter(memory).run(kind.access, [base, N, 0, B])
+        assert memory.read_array(base, 8, N * N, F64) == before
+
+
+class TestAccessCoverage:
+    """Per-workload: the access version prefetches what execute loads
+    unconditionally (conditional reads are legitimately dropped)."""
+
+    @pytest.mark.parametrize("name,task_index", [
+        ("lu", 0), ("cholesky", 0), ("cigar", 0), ("cg", 0), ("libq", 0),
+    ])
+    def test_first_task_coverage(self, compiled_all, name, task_index):
+        w = workload_by_name(name)
+        memory, instances, compiled = w.instantiate(
+            scale=1, compiled=compiled_all[name]
+        )
+        instance = instances[task_index]
+        loads, prefetches = set(), set()
+        Interpreter(memory, observer=lambda e: prefetches.add(e.address)
+                    if e.kind == "prefetch" else None).run(
+            instance.kind.access, instance.args)
+        Interpreter(memory, observer=lambda e: loads.add(e.address)
+                    if e.kind == "load" else None).run(
+            instance.kind.execute, instance.args)
+        covered = len(loads & prefetches) / max(1, len(loads))
+        # Affine tasks cover everything; skeletons cover at least the
+        # unconditional reads.
+        assert covered >= 0.5, "%s covered only %.0f%%" % (name, covered * 100)
+
+    def test_lu_coverage_complete(self, compiled_all):
+        w = workload_by_name("lu")
+        memory, instances, _ = w.instantiate(
+            scale=1, compiled=compiled_all["lu"]
+        )
+        instance = instances[0]
+        loads, prefetches = set(), set()
+        Interpreter(memory, observer=lambda e: prefetches.add(e.address)
+                    if e.kind == "prefetch" else None).run(
+            instance.kind.access, instance.args)
+        Interpreter(memory, observer=lambda e: loads.add(e.address)
+                    if e.kind == "load" else None).run(
+            instance.kind.execute, instance.args)
+        assert loads <= prefetches
