@@ -12,6 +12,7 @@ from .experiments import (
     figure3_rows,
     figure4_series,
     headline_numbers,
+    relative_metrics,
     run_all,
     run_workload,
     schedule,
@@ -30,15 +31,24 @@ from .report import (
     render_figure3,
     render_figure4,
     render_headline,
+    render_schedule_summary,
     render_table1,
+)
+from .trace import (
+    TRACE_CONFIGS,
+    TraceArtifacts,
+    export_trace,
+    trace_workload,
 )
 
 __all__ = [
     "FIGURE3_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row", "Figure4Point",
     "Figure4Series", "HeadlineNumbers", "Table1Row", "WorkloadRun",
-    "figure3_rows", "figure4_series", "headline_numbers", "run_all",
-    "run_workload", "schedule", "table1_rows",
+    "figure3_rows", "figure4_series", "headline_numbers",
+    "relative_metrics", "run_all", "run_workload", "schedule", "table1_rows",
     "AnalysisDemo", "analyze_kernel", "figure1_demo", "figure2_demo",
     "render_figure1", "render_figure2", "single_hull_cells",
-    "render_figure3", "render_figure4", "render_headline", "render_table1",
+    "render_figure3", "render_figure4", "render_headline",
+    "render_schedule_summary", "render_table1",
+    "TRACE_CONFIGS", "TraceArtifacts", "export_trace", "trace_workload",
 ]

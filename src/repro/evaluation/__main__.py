@@ -1,7 +1,13 @@
 """Command-line entry: ``python -m repro.evaluation <experiment>``.
 
-Experiments: table1, figure1, figure2, figure3, figure4, headline, all.
-Options: ``--scale N`` (workload size multiplier, default 1).
+Experiments: table1, figure1, figure2, figure3, figure4, headline, all,
+and ``trace <app>`` (fully-observed single-workload run writing a Chrome
+trace, a JSONL event log, and an explain report).
+
+Options: ``--scale N`` (workload size multiplier, default 1);
+``--trace PATH`` / ``--events PATH`` (dump the structured-event log of
+any experiment as a Chrome trace / JSONL without code changes);
+``--out PREFIX`` (artifact prefix for the trace experiment).
 """
 
 from __future__ import annotations
@@ -9,10 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import obs
 from ..sim.config import MachineConfig
-from ..workloads import workload_by_name
+from ..workloads import ALL_WORKLOADS, workload_by_name
 from . import (
     FIGURE4_WORKLOADS,
+    export_trace,
     figure1_demo,
     figure2_demo,
     figure3_rows,
@@ -27,6 +35,7 @@ from . import (
     run_all,
     run_workload,
     table1_rows,
+    trace_workload,
 )
 
 _FULL_RUN_EXPERIMENTS = {"table1", "figure3", "headline", "all"}
@@ -40,40 +49,118 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "figure1", "figure2", "figure3", "figure4",
-                 "headline", "all"],
+                 "headline", "all", "trace"],
+    )
+    parser.add_argument(
+        "app", nargs="?", default=None,
+        help="workload name (trace experiment only, e.g. 'cholesky')",
     )
     parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also write the run's event log as Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also write the run's event log as JSONL",
+    )
+    parser.add_argument(
+        "--out", metavar="PREFIX", default=None,
+        help="artifact path prefix for the trace experiment "
+             "(default: the app name)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        return _run_trace(args, parser)
+    if args.app is not None:
+        parser.error("'%s' does not take an app argument" % args.experiment)
 
     config = MachineConfig()
     sections = []
 
-    runs = None
-    if args.experiment in _FULL_RUN_EXPERIMENTS:
-        print("profiling all workloads (scale %d)..." % args.scale,
-              file=sys.stderr)
-        runs = run_all(scale=args.scale, config=config)
+    collector = None
+    capture = obs.Collector(enabled=True) if (
+        args.trace or args.events
+    ) else None
+    with obs.collecting(capture) if capture is not None else _NullContext():
+        collector = capture
+        runs = None
+        if args.experiment in _FULL_RUN_EXPERIMENTS:
+            print("profiling all workloads (scale %d)..." % args.scale,
+                  file=sys.stderr)
+            runs = run_all(scale=args.scale, config=config)
 
-    if args.experiment in ("table1", "all"):
-        sections.append(render_table1(table1_rows(runs, config)))
-    if args.experiment in ("figure1", "all"):
-        sections.append(render_figure1(figure1_demo()))
-    if args.experiment in ("figure2", "all"):
-        sections.append(render_figure2(figure2_demo()))
-    if args.experiment in ("figure3", "all"):
-        sections.append(render_figure3(figure3_rows(runs, config)))
-    if args.experiment in ("figure4", "all"):
-        for name in FIGURE4_WORKLOADS:
-            run = (
-                runs[name] if runs is not None
-                else run_workload(workload_by_name(name), args.scale, config)
-            )
-            sections.append(render_figure4(name, figure4_series(run, config)))
-    if args.experiment in ("headline", "all"):
-        sections.append(render_headline(headline_numbers(runs, config)))
+        if args.experiment in ("table1", "all"):
+            sections.append(render_table1(table1_rows(runs, config)))
+        if args.experiment in ("figure1", "all"):
+            sections.append(render_figure1(figure1_demo()))
+        if args.experiment in ("figure2", "all"):
+            sections.append(render_figure2(figure2_demo()))
+        if args.experiment in ("figure3", "all"):
+            sections.append(render_figure3(figure3_rows(runs, config)))
+        if args.experiment in ("figure4", "all"):
+            for name in FIGURE4_WORKLOADS:
+                run = (
+                    runs[name] if runs is not None
+                    else run_workload(workload_by_name(name), args.scale,
+                                      config)
+                )
+                sections.append(
+                    render_figure4(name, figure4_series(run, config))
+                )
+        if args.experiment in ("headline", "all"):
+            sections.append(render_headline(headline_numbers(runs, config)))
 
+    _export_event_log(collector, args)
     print("\n\n".join(sections))
     return 0
+
+
+def _run_trace(args, parser) -> int:
+    if args.app is None:
+        parser.error(
+            "trace needs a workload name, one of: %s"
+            % ", ".join(sorted(w.name for w in ALL_WORKLOADS))
+        )
+    try:
+        workload_by_name(args.app)
+    except KeyError:
+        parser.error(
+            "unknown workload %r; choose from: %s"
+            % (args.app, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+        )
+    print("tracing %s (scale %d)..." % (args.app, args.scale),
+          file=sys.stderr)
+    artifacts = trace_workload(args.app, scale=args.scale)
+    export_trace(artifacts, out_prefix=args.out)
+    # The generic flags override/augment the default artifact names.
+    _export_event_log(artifacts.collector, args)
+    with open(artifacts.report_path) as handle:
+        print(handle.read(), end="")
+    print("wrote %s" % artifacts.trace_path, file=sys.stderr)
+    print("wrote %s" % artifacts.events_path, file=sys.stderr)
+    print("wrote %s" % artifacts.report_path, file=sys.stderr)
+    return 0
+
+
+def _export_event_log(collector, args) -> None:
+    if collector is None:
+        return
+    if args.trace:
+        obs.write_chrome_trace(args.trace, collector.events())
+        print("wrote %s" % args.trace, file=sys.stderr)
+    if args.events:
+        obs.write_jsonl(args.events, collector.events())
+        print("wrote %s" % args.events, file=sys.stderr)
+
+
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return None
 
 
 if __name__ == "__main__":

@@ -101,6 +101,18 @@ def schedule(run: WorkloadRun, scheme: str, policy: str,
     )
 
 
+def relative_metrics(result: ScheduleResult,
+                     baseline: ScheduleResult) -> dict[str, float]:
+    """Normalized time/energy/EDP, from the results' ``summary()`` dicts
+    (the one place schedule arithmetic lives)."""
+    rs, bs = result.summary(), baseline.summary()
+    return {
+        "time": rs["time_s"] / bs["time_s"],
+        "energy": rs["energy_j"] / bs["energy_j"],
+        "edp": rs["edp_js"] / bs["edp_js"],
+    }
+
+
 # -- Table 1 ------------------------------------------------------------------
 
 
@@ -187,9 +199,10 @@ def figure3_rows(runs: dict[str, WorkloadRun],
             result = scheduler.run(
                 run.profiles[stream].tasks, scheme, _policy(policy, config)
             )
-            row.time[label] = result.time_ns / baseline.time_ns
-            row.energy[label] = result.energy_nj / baseline.energy_nj
-            row.edp[label] = result.edp_js / baseline.edp_js
+            relative = relative_metrics(result, baseline)
+            row.time[label] = relative["time"]
+            row.energy[label] = relative["energy"]
+            row.edp[label] = relative["edp"]
         rows.append(row)
     rows.append(_geomean_row(rows))
     return rows
@@ -325,8 +338,9 @@ def headline_numbers(runs: dict[str, WorkloadRun],
             result = scheduler.run(
                 run.profiles[stream].tasks, "dae", OptimalEDPPolicy()
             )
-            times.append(result.time_ns / base.time_ns)
-            edps.append(result.edp_js / base.edp_js)
+            relative = relative_metrics(result, base)
+            times.append(relative["time"])
+            edps.append(relative["edp"])
         gm = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
         return gm(times), gm(edps)
 

@@ -1,0 +1,96 @@
+"""The ``trace`` experiment: one fully-observed workload run.
+
+``python -m repro.evaluation trace <app>`` compiles, profiles and
+schedules one workload with the observability collector enabled, then
+writes three artifacts:
+
+* ``<app>.trace.json``  — Chrome ``trace_event`` JSON; open it at
+  https://ui.perfetto.dev (compiler passes on the wall clock, scheduler
+  cores on the simulated clock);
+* ``<app>.events.jsonl`` — the flat structured-event log;
+* ``<app>.explain.txt``  — the plain-text explain report: per-task and
+  per-loop access-phase decisions (Table 1's provenance) and per-run
+  Figure-4-style phase breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import obs
+from ..runtime.scheduler import DAEScheduler, ScheduleResult
+from ..sim.config import MachineConfig
+from ..workloads import workload_by_name
+from .experiments import WorkloadRun, _policy, run_workload
+
+#: (label, profile stream, run scheme, policy) — the headline pairing
+#: plus its baseline, traced by default.
+TRACE_CONFIGS = (
+    ("CAE (Max f.)", "cae", "cae", "fmax"),
+    ("Compiler DAE (Optimal f.)", "dae", "dae", "optimal"),
+    ("Manual DAE (Optimal f.)", "manual", "dae", "optimal"),
+)
+
+
+@dataclass
+class TraceArtifacts:
+    """Everything one traced run produced."""
+
+    app: str
+    run: WorkloadRun
+    collector: obs.Collector
+    schedules: dict = field(default_factory=dict)   # label -> ScheduleResult
+    trace_path: str = ""
+    events_path: str = ""
+    report_path: str = ""
+
+
+def trace_workload(name: str, scale: int = 1,
+                   config: Optional[MachineConfig] = None,
+                   collector: Optional[obs.Collector] = None) -> TraceArtifacts:
+    """Run one workload end to end with the collector enabled."""
+    config = config or MachineConfig()
+    if collector is None:   # NB: an empty Collector is falsy (len 0)
+        collector = obs.Collector(enabled=True)
+    artifacts = TraceArtifacts(app=name, run=None, collector=collector)
+
+    with obs.collecting(collector):
+        artifacts.run = run_workload(workload_by_name(name), scale, config)
+        for label, stream, scheme, policy in TRACE_CONFIGS:
+            scheduler = DAEScheduler(config)
+            result: ScheduleResult = scheduler.run(
+                artifacts.run.profiles[stream].tasks, scheme,
+                _policy(policy, config), record_timeline=True,
+            )
+            artifacts.schedules[label] = result
+    return artifacts
+
+
+def export_trace(artifacts: TraceArtifacts,
+                 out_prefix: Optional[str] = None) -> TraceArtifacts:
+    """Write the three artifact files next to ``out_prefix``."""
+    prefix = out_prefix or artifacts.app
+    events = artifacts.collector.events()
+    timelines = [
+        result.timeline for result in artifacts.schedules.values()
+        if result.timeline is not None
+    ]
+    artifacts.trace_path = obs.write_chrome_trace(
+        prefix + ".trace.json", events, timelines
+    )
+    artifacts.events_path = obs.write_jsonl(
+        prefix + ".events.jsonl", events
+    )
+    report = obs.explain_report(
+        artifacts.app, events,
+        schedules={
+            label: result.summary()
+            for label, result in artifacts.schedules.items()
+        },
+        timelines=timelines,
+    )
+    artifacts.report_path = prefix + ".explain.txt"
+    with open(artifacts.report_path, "w") as handle:
+        handle.write(report)
+    return artifacts

@@ -80,6 +80,21 @@ class ExecutionTrace:
             self.by_opcode.get(op, 0) for op in ("fadd", "fsub", "fmul", "fdiv")
         )
 
+    def snapshot(self) -> dict:
+        """Flat dict of the trace's counters, for obs counter events.
+
+        Taken once per phase after ``run`` returns — the interpreter's
+        inner loop itself carries no instrumentation, so tracing
+        overhead never touches per-instruction execution.
+        """
+        return {
+            "instructions": self.instructions,
+            "mem_events": self.mem_events,
+            "dropped_prefetches": self.dropped_prefetches,
+            "flops": self.flops,
+            "by_opcode": dict(self.by_opcode),
+        }
+
 
 class Interpreter:
     """Executes IR functions with an optional memory-event observer.

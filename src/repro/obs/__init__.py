@@ -1,0 +1,60 @@
+"""Observability: structured events, schedule timelines, exporters.
+
+The subsystem the rest of the stack reports into:
+
+* :mod:`repro.obs.events` — spans / instants / counters and the
+  thread-safe :class:`Collector` (process-global default is a no-op
+  until enabled);
+* :mod:`repro.obs.timeline` — per-core simulated-time schedule
+  timelines recorded by the DVFS scheduler;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  Perfetto) and flat JSONL;
+* :mod:`repro.obs.report` — plain-text explain reports (compiler
+  decisions, pass times, Figure-4-style phase breakdowns).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collecting() as col:
+        ...compile / profile / schedule...
+    obs.write_chrome_trace("out.trace.json", col.events(), timelines)
+    print(obs.explain_report("cholesky", col.events()))
+"""
+
+from .events import (
+    Collector,
+    Event,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    get_collector,
+    set_collector,
+)
+from .export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import (
+    explain_report,
+    render_compiler_decisions,
+    render_loop_detail,
+    render_pass_summary,
+    render_phase_breakdown,
+    render_timeline_breakdown,
+    render_warnings,
+)
+from .timeline import SEGMENT_KINDS, Timeline, TimelineSegment
+
+__all__ = [
+    "Collector", "Event", "collecting", "disable", "enable", "enabled",
+    "get_collector", "set_collector",
+    "to_chrome_trace", "to_jsonl", "write_chrome_trace", "write_jsonl",
+    "explain_report", "render_compiler_decisions", "render_loop_detail",
+    "render_pass_summary", "render_phase_breakdown",
+    "render_timeline_breakdown", "render_warnings",
+    "SEGMENT_KINDS", "Timeline", "TimelineSegment",
+]

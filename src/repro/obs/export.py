@@ -1,0 +1,142 @@
+"""Exporters: Chrome ``trace_event`` JSON (Perfetto-loadable) and JSONL.
+
+The Chrome trace format puts wall-clock compiler activity and
+simulated-time scheduler activity in one file by giving each its own
+process: pid 1 is the compiler (span events from the collector, one
+track per thread), and each scheduled run gets its own pid (cores as
+tracks, ``tid`` = core index).  Timestamps are microseconds as the
+format requires; events are sorted so ``ts`` is monotone within every
+``(pid, tid)`` track, which Perfetto's JSON importer expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .events import Event
+from .timeline import Timeline
+
+__all__ = [
+    "COMPILER_PID",
+    "SCHEDULER_PID_BASE",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+]
+
+#: pid hosting wall-clock collector events (compiler passes, decisions).
+COMPILER_PID = 1
+#: First pid for scheduler timelines; run *i* gets SCHEDULER_PID_BASE+i.
+SCHEDULER_PID_BASE = 10
+
+
+def _meta(pid: int, name: str, tid: int = 0,
+          what: str = "process_name") -> Dict[str, Any]:
+    return {
+        "ph": "M", "name": what, "pid": pid, "tid": tid, "ts": 0,
+        "args": {"name": name},
+    }
+
+
+def _event_to_chrome(event: Event) -> Dict[str, Any]:
+    base = {
+        "name": event.name,
+        "cat": event.cat or "obs",
+        "pid": COMPILER_PID,
+        "tid": event.tid,
+        "ts": event.ts_ns / 1000.0,
+    }
+    if event.kind == "span":
+        base["ph"] = "X"
+        base["dur"] = event.dur_ns / 1000.0
+        if event.args:
+            base["args"] = event.args
+    elif event.kind == "counter":
+        base["ph"] = "C"
+        # Counter args become numeric series in Perfetto; keep only
+        # numbers (full args still land in the JSONL export).
+        base["args"] = {"value": event.value, **{
+            k: v for k, v in event.args.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }}
+    else:
+        base["ph"] = "i"
+        base["s"] = "t"
+        if event.args:
+            base["args"] = event.args
+    return base
+
+
+def _timeline_to_chrome(timeline: Timeline, pid: int) -> List[Dict[str, Any]]:
+    label = "scheduler sim [%s/%s]" % (
+        timeline.scheme or "?", timeline.policy or "?"
+    )
+    out: List[Dict[str, Any]] = [_meta(pid, label)]
+    for core in sorted({s.core for s in timeline.segments}):
+        out.append(_meta(pid, "core %d" % core, tid=core, what="thread_name"))
+    for segment in timeline.segments:
+        entry: Dict[str, Any] = {
+            "name": segment.kind if not segment.task
+            else "%s %s" % (segment.kind, segment.task),
+            "cat": "sim." + segment.kind,
+            "ph": "X",
+            "pid": pid,
+            "tid": segment.core,
+            "ts": segment.start_ns / 1000.0,
+            "dur": segment.dur_ns / 1000.0,
+            "args": {"kind": segment.kind},
+        }
+        if segment.task:
+            entry["args"]["task"] = segment.task
+        if segment.freq_ghz:
+            entry["args"]["freq_ghz"] = segment.freq_ghz
+        out.append(entry)
+    return out
+
+
+def to_chrome_trace(events: Iterable[Event],
+                    timelines: Optional[Iterable[Timeline]] = None
+                    ) -> Dict[str, Any]:
+    """Build the ``{"traceEvents": [...]}`` document."""
+    trace: List[Dict[str, Any]] = [_meta(COMPILER_PID, "repro compiler+runtime")]
+    seen_tids = set()
+    for event in events:
+        if event.tid not in seen_tids:
+            seen_tids.add(event.tid)
+            trace.append(_meta(
+                COMPILER_PID, "thread %d" % event.tid, tid=event.tid,
+                what="thread_name",
+            ))
+        trace.append(_event_to_chrome(event))
+    for index, timeline in enumerate(timelines or ()):
+        trace.extend(_timeline_to_chrome(timeline, SCHEDULER_PID_BASE + index))
+    # Perfetto wants monotone ts per track; metadata first within each.
+    trace.sort(key=lambda e: (
+        e["pid"], e["tid"], e["ph"] != "M", e["ts"],
+    ))
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable[Event],
+                       timelines: Optional[Iterable[Timeline]] = None) -> str:
+    document = to_chrome_trace(events, timelines)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+def to_jsonl(events: Iterable[Event]) -> str:
+    """One compact JSON object per line, in emission order."""
+    return "".join(
+        json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def write_jsonl(path: str, events: Iterable[Event]) -> str:
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(events))
+    return path

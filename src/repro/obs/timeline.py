@@ -1,0 +1,100 @@
+"""Per-core schedule timelines (simulated time).
+
+The scheduler replays task phases on a discrete-time machine model, so
+its "trace" lives on the simulated clock, not the wall clock.  A
+:class:`Timeline` is an ordered list of :class:`TimelineSegment`, one
+per contiguous stretch of a core's time, tagged with what the core was
+doing (access / execute / dvfs-switch / steal / dispatch overhead /
+idle), which task it ran, and at which operating point.
+
+Invariant (checked by :meth:`Timeline.validate`): per core, segments are
+non-overlapping, start at 0, abut exactly, and end at the schedule's
+total time — so the per-core durations always sum to the run's
+``time_ns``.  This is what makes Figure-4-style breakdowns auditable
+from the trace instead of recomputed ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["TimelineSegment", "Timeline", "SEGMENT_KINDS"]
+
+#: Everything a core can be doing, in display order.
+SEGMENT_KINDS = ("access", "execute", "switch", "steal", "overhead", "idle")
+
+
+@dataclass
+class TimelineSegment:
+    """One contiguous activity of one core on the simulated clock."""
+
+    core: int
+    kind: str            # one of SEGMENT_KINDS
+    start_ns: float
+    end_ns: float
+    task: str = ""       # task-kind name for access/execute segments
+    freq_ghz: float = 0.0
+
+    @property
+    def dur_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class Timeline:
+    """All segments of one scheduled run, in emission order."""
+
+    scheme: str = ""
+    policy: str = ""
+    segments: List[TimelineSegment] = field(default_factory=list)
+
+    def add(self, core: int, kind: str, start_ns: float, end_ns: float,
+            task: str = "", freq_ghz: float = 0.0) -> None:
+        if kind not in SEGMENT_KINDS:
+            raise ValueError("unknown segment kind %r" % kind)
+        self.segments.append(TimelineSegment(
+            core=core, kind=kind, start_ns=start_ns, end_ns=end_ns,
+            task=task, freq_ghz=freq_ghz,
+        ))
+
+    def per_core(self) -> Dict[int, List[TimelineSegment]]:
+        cores: Dict[int, List[TimelineSegment]] = {}
+        for segment in self.segments:
+            cores.setdefault(segment.core, []).append(segment)
+        for segments in cores.values():
+            segments.sort(key=lambda s: s.start_ns)
+        return cores
+
+    def core_total_ns(self, core: int) -> float:
+        return sum(
+            s.dur_ns for s in self.segments if s.core == core
+        )
+
+    def kind_totals_ns(self) -> Dict[str, float]:
+        """Total simulated time per activity kind, across all cores."""
+        totals = dict.fromkeys(SEGMENT_KINDS, 0.0)
+        for segment in self.segments:
+            totals[segment.kind] += segment.dur_ns
+        return totals
+
+    def validate(self, total_ns: float, tol_ns: float = 1e-6) -> None:
+        """Assert the coverage invariant (see module docstring)."""
+        for core, segments in self.per_core().items():
+            clock = 0.0
+            for segment in segments:
+                if abs(segment.start_ns - clock) > tol_ns:
+                    raise AssertionError(
+                        "core %d: gap/overlap at %.3f (expected %.3f)"
+                        % (core, segment.start_ns, clock)
+                    )
+                if segment.end_ns < segment.start_ns:
+                    raise AssertionError(
+                        "core %d: negative segment %r" % (core, segment)
+                    )
+                clock = segment.end_ns
+            if abs(clock - total_ns) > tol_ns:
+                raise AssertionError(
+                    "core %d covers %.3f ns, schedule ran %.3f ns"
+                    % (core, clock, total_ns)
+                )

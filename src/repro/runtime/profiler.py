@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..interp.interpreter import ExecutionTrace, Interpreter
 from ..interp.memory import SimMemory
+from ..obs.events import get_collector
 from ..sim.cache import AccessCounts, MachineCaches
 from ..sim.config import MachineConfig
 from ..sim.timing import PhaseProfile
@@ -65,11 +66,21 @@ class TaskStreamProfiler:
         self.memory = memory
         self.config = config or MachineConfig()
 
-    def profile(self, tasks: list[TaskInstance], scheme: str) -> StreamProfile:
+    def profile(self, tasks: list[TaskInstance], scheme: str,
+                strict: bool = False) -> StreamProfile:
+        """Profile ``tasks`` under ``scheme``.
+
+        Under 'dae'/'manual' a task whose access version is missing
+        silently profiles as coupled (the runtime's fallback) and emits
+        an obs warning event; with ``strict=True`` it raises
+        :class:`ProfileError` instead, naming the task and scheme.
+        """
         if scheme not in ("cae", "dae", "manual"):
             raise ProfileError("unknown scheme %r" % scheme)
+        collector = get_collector()
         caches = MachineCaches(self.config)
         result = StreamProfile(scheme=scheme)
+        warned: set[str] = set()
         for index, instance in enumerate(tasks):
             core = caches.cores[index % self.config.cores]
             access_profile = None
@@ -78,12 +89,30 @@ class TaskStreamProfiler:
                     instance.kind.access if scheme == "dae"
                     else instance.kind.manual_access
                 )
-                if access_fn is not None:
+                if access_fn is None:
+                    if strict:
+                        raise ProfileError(
+                            "task %r has no %s version under scheme %r; "
+                            "it would silently profile as coupled"
+                            % (instance.name,
+                               "access" if scheme == "dae"
+                               else "manual access",
+                               scheme)
+                        )
+                    if collector.enabled and instance.name not in warned:
+                        warned.add(instance.name)
+                        collector.instant(
+                            "profiler.missing_access", cat="warning.profiler",
+                            args={"task": instance.name, "scheme": scheme},
+                        )
+                else:
                     access_profile = self._run_phase(
-                        access_fn, instance.args, core
+                        access_fn, instance.args, core,
+                        phase="access", task=instance.name,
                     )
             execute_profile = self._run_phase(
-                instance.kind.execute, instance.args, core
+                instance.kind.execute, instance.args, core,
+                phase="execute", task=instance.name,
             )
             result.tasks.append(
                 TaskProfile(
@@ -92,9 +121,15 @@ class TaskStreamProfiler:
                     access=access_profile,
                 )
             )
+        if collector.enabled:
+            collector.counter(
+                "profiler.tasks", len(result.tasks), cat="runtime.profiler",
+                args={"scheme": scheme},
+            )
         return result
 
-    def _run_phase(self, func, args, core) -> PhaseProfile:
+    def _run_phase(self, func, args, core, phase: str = "",
+                   task: str = "") -> PhaseProfile:
         counts = AccessCounts()
 
         def observe(event):
@@ -102,4 +137,18 @@ class TaskStreamProfiler:
 
         interp = Interpreter(self.memory, observer=observe)
         trace = interp.run(func, args)
+        collector = get_collector()
+        if collector.enabled:
+            # Post-hoc snapshots: the interpreter and caches run
+            # uninstrumented, then their counters are recorded once per
+            # phase.
+            collector.counter(
+                "phase.instructions", trace.instructions,
+                cat="runtime.phase",
+                args={
+                    "task": task, "phase": phase,
+                    "trace": trace.snapshot(),
+                    "cache": counts.snapshot(),
+                },
+            )
         return PhaseProfile.from_run(trace, counts)

@@ -11,6 +11,13 @@ victim when empty, switches frequency between phases according to the
 active policy (paying the transition latency with static-only energy),
 and sleeps when no work is left.  The output is the total time/energy
 plus the Prefetch / Task / O.S.I. buckets of Figure 4.
+
+When the observability collector is enabled (or ``run`` is called with
+``record_timeline=True``) every clock advance is also recorded on a
+per-core :class:`~repro.obs.timeline.Timeline` — access / execute /
+switch / steal / overhead / idle segments with operating points — whose
+per-core durations sum exactly to the schedule's total time.  Disabled,
+the per-task cost is a couple of ``None`` checks.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.events import get_collector
+from ..obs.timeline import Timeline
 from ..power.frequency import FrequencyPolicy
 from ..power.model import phase_energy, static_power, transition_energy
 from ..sim.config import MachineConfig, OperatingPoint
@@ -49,6 +58,9 @@ class ScheduleResult:
     transitions: int = 0
     steals: int = 0
     tasks_run: int = 0
+    #: Per-core activity timeline; only recorded when observability is
+    #: on (or the caller forces ``record_timeline=True``).
+    timeline: Optional[Timeline] = None
 
     @property
     def energy_j(self) -> float:
@@ -62,9 +74,33 @@ class ScheduleResult:
     def edp_js(self) -> float:
         return self.energy_j * self.time_s
 
+    def summary(self) -> dict:
+        """SI-unit summary shared by the evaluation reports and the
+        trace exporter (one source for time/energy/EDP arithmetic)."""
+        buckets = self.buckets
+        return {
+            "scheme": self.scheme,
+            "policy": self.policy,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "edp_js": self.edp_js,
+            "tasks_run": self.tasks_run,
+            "steals": self.steals,
+            "transitions": self.transitions,
+            "buckets": {
+                "prefetch_s": buckets.prefetch_ns * 1e-9,
+                "task_s": buckets.task_ns * 1e-9,
+                "osi_s": buckets.osi_ns * 1e-9,
+                "prefetch_j": buckets.prefetch_nj * 1e-9,
+                "task_j": buckets.task_nj * 1e-9,
+                "osi_j": buckets.osi_nj * 1e-9,
+            },
+        }
+
 
 @dataclass
 class _CoreState:
+    index: int = 0
     clock_ns: float = 0.0
     point: Optional[OperatingPoint] = None
     queue: deque = field(default_factory=deque)
@@ -84,18 +120,29 @@ class DAEScheduler:
         self.config = config or MachineConfig()
 
     def run(self, profiles: list[TaskProfile], scheme: str,
-            policy: FrequencyPolicy) -> ScheduleResult:
+            policy: FrequencyPolicy,
+            record_timeline: Optional[bool] = None) -> ScheduleResult:
         """Schedule ``profiles`` under ``scheme`` ('cae' or 'dae').
 
         For 'dae', tasks without an access profile fall back to coupled
         execution (the compiler generated no access version).
+
+        ``record_timeline`` defaults to whether the observability
+        collector is enabled.
         """
         config = self.config
-        cores = [_CoreState() for _ in range(config.cores)]
+        collector = get_collector()
+        if record_timeline is None:
+            record_timeline = collector.enabled
+        cores = [_CoreState(index=i) for i in range(config.cores)]
         for i, profile in enumerate(profiles):
             cores[i % config.cores].queue.append(profile)
 
         result = ScheduleResult(scheme=scheme, policy=policy.name)
+        timeline = Timeline(scheme=scheme, policy=policy.name) if (
+            record_timeline
+        ) else None
+        result.timeline = timeline
         buckets = result.buckets
 
         # Run cores in lockstep-ish order: always advance the core with
@@ -109,10 +156,13 @@ class DAEScheduler:
                 if not victim.queue:
                     break
                 core.queue.append(victim.queue.pop())
+                start = core.clock_ns
                 core.clock_ns += self.steal_overhead_ns
+                if timeline is not None:
+                    timeline.add(core.index, "steal", start, core.clock_ns)
                 result.steals += 1
             profile = core.queue.popleft()
-            self._run_task(core, profile, scheme, policy, result)
+            self._run_task(core, profile, scheme, policy, result, timeline)
             result.tasks_run += 1
 
         result.time_ns = max(c.clock_ns for c in cores) if cores else 0.0
@@ -123,24 +173,41 @@ class DAEScheduler:
                 idle_nj = self.sleep_power_w * idle
                 buckets.osi_ns += idle
                 buckets.osi_nj += idle_nj
+                if timeline is not None:
+                    timeline.add(
+                        core.index, "idle", core.clock_ns, result.time_ns
+                    )
         result.energy_nj = (
             buckets.prefetch_nj + buckets.task_nj + buckets.osi_nj
         )
+        if collector.enabled:
+            collector.instant(
+                "scheduler.run", cat="runtime.scheduler",
+                args=result.summary(),
+            )
         return result
 
     # -- internals -------------------------------------------------------------
 
     def _run_task(self, core: _CoreState, profile: TaskProfile, scheme: str,
-                  policy: FrequencyPolicy, result: ScheduleResult) -> None:
+                  policy: FrequencyPolicy, result: ScheduleResult,
+                  timeline: Optional[Timeline]) -> None:
         config = self.config
         buckets = result.buckets
+        task_name = profile.instance.name
 
         # Dispatch overhead runs at the core's current point (or fmin).
         overhead_point = core.point or config.fmin
         overhead_energy = static_power(overhead_point, 1, config) * (
             self.task_overhead_ns
         )
+        start = core.clock_ns
         core.clock_ns += self.task_overhead_ns
+        if timeline is not None:
+            timeline.add(
+                core.index, "overhead", start, core.clock_ns,
+                task=task_name, freq_ghz=overhead_point.freq_ghz,
+            )
         buckets.osi_ns += self.task_overhead_ns
         buckets.osi_nj += overhead_energy
 
@@ -166,10 +233,17 @@ class DAEScheduler:
             hide = profile.access.prefetch_mem_ns(config) + (
                 profile.access.demand_mem_ns(config)
             )
-            self._maybe_switch(core, access_point, result, hide_ns=hide)
+            self._maybe_switch(core, access_point, result, timeline,
+                               hide_ns=hide)
             ipc = profile.access.ipc(access_point, config)
             breakdown = phase_energy(time, access_point, ipc, config)
+            start = core.clock_ns
             core.clock_ns += time
+            if timeline is not None:
+                timeline.add(
+                    core.index, "access", start, core.clock_ns,
+                    task=task_name, freq_ghz=access_point.freq_ghz,
+                )
             access_time = time
             buckets.prefetch_ns += time
             buckets.prefetch_nj += breakdown.energy_nj
@@ -177,16 +251,24 @@ class DAEScheduler:
         execute_point = policy.execute_point(profile.execute, config)
         # The ramp back up hides behind the tail of the access phase
         # (prefetches still in flight when the switch is requested).
-        self._maybe_switch(core, execute_point, result, hide_ns=access_time)
+        self._maybe_switch(core, execute_point, result, timeline,
+                           hide_ns=access_time)
         time = profile.execute.time_ns(execute_point, config)
         ipc = profile.execute.ipc(execute_point, config)
         breakdown = phase_energy(time, execute_point, ipc, config)
+        start = core.clock_ns
         core.clock_ns += time
+        if timeline is not None:
+            timeline.add(
+                core.index, "execute", start, core.clock_ns,
+                task=task_name, freq_ghz=execute_point.freq_ghz,
+            )
         buckets.task_ns += time
         buckets.task_nj += breakdown.energy_nj
 
     def _maybe_switch(self, core: _CoreState, point: OperatingPoint,
-                      result: ScheduleResult, hide_ns: float = 0.0) -> None:
+                      result: ScheduleResult, timeline: Optional[Timeline],
+                      hide_ns: float = 0.0) -> None:
         if core.point is not None and core.point is point:
             return
         if core.point is not None and core.point.freq_ghz == point.freq_ghz:
@@ -198,7 +280,13 @@ class DAEScheduler:
             visible_ns = breakdown.time_ns
             if config.dvfs_overlap:
                 visible_ns = max(0.0, visible_ns - hide_ns)
+            start = core.clock_ns
             core.clock_ns += visible_ns
+            if timeline is not None and visible_ns > 0:
+                timeline.add(
+                    core.index, "switch", start, core.clock_ns,
+                    freq_ghz=point.freq_ghz,
+                )
             result.buckets.osi_ns += visible_ns
             # Static transition energy is charged in full: the regulator
             # ramps regardless of whether the core hid the latency.

@@ -87,6 +87,17 @@ class AccessCounts:
         }[kind]
         return sum(bucket.values())
 
+    def snapshot(self) -> dict:
+        """Nested dict of all per-level tallies plus derived miss totals,
+        for obs counter events and the JSONL event log."""
+        return {
+            "loads": dict(self.loads),
+            "stores": dict(self.stores),
+            "prefetches": dict(self.prefetches),
+            "demand_mem_misses": self.demand_mem_misses,
+            "prefetch_mem_misses": self.prefetch_mem_misses,
+        }
+
     def merged(self, other: "AccessCounts") -> "AccessCounts":
         result = AccessCounts()
         for mine, theirs, out in (
@@ -168,3 +179,16 @@ class MachineCaches:
         self.llc.flush()
         for core in self.cores:
             core.flush_private()
+
+    def snapshot(self) -> dict:
+        """Resident-line occupancy per cache, for obs counter events."""
+        return {
+            "llc_lines": self.llc.resident_lines(),
+            "cores": [
+                {
+                    "l1_lines": core.l1.resident_lines(),
+                    "l2_lines": core.l2.resident_lines(),
+                }
+                for core in self.cores
+            ],
+        }

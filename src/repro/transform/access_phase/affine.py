@@ -274,8 +274,21 @@ def _choose_polyhedra(cls: AccessClass, threshold: int,
         return cls.polyhedra
     hull = convex_union(cls.polyhedra)
     degree = len(hull.dims)
-    n_conv = count_polynomial(hull, degree=degree)
-    n_orig = union_count_polynomial(cls.polyhedra, degree=degree)
+    try:
+        n_conv = count_polynomial(hull, degree=degree)
+        n_orig = union_count_polynomial(cls.polyhedra, degree=degree)
+    except ValueError:
+        # The count is only piecewise polynomial (the sample grid crosses
+        # Ehrhart chambers, e.g. overlapping translated triangles whose
+        # intersection appears/disappears with the parameters).  The hull
+        # test is inconclusive, so take the safe branch of the paper's
+        # trade-off: scan each polytope individually.
+        decisions.append({
+            "base": cls.base.name,
+            "hull": False,
+            "reason": "count is chambered; hull test inconclusive",
+        })
+        return cls.polyhedra
     use_hull = counts_dominate(n_conv, n_orig, threshold=threshold)
     decisions.append({
         "base": cls.base.name,

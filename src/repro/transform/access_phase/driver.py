@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from ...analysis.memory_access import AccessAnalysis
 from ...ir import Function, Module, verify_function
+from ...obs.events import get_collector
 from ..clone import clone_function
 from ..inline import InlineError, inline_all_calls
 from ..pipeline import optimize_function
@@ -58,6 +59,45 @@ class AccessPhaseResult:
         return self.access is not None
 
 
+def _emit_decision(collector, result: AccessPhaseResult) -> AccessPhaseResult:
+    """Record the per-task outcome (the rows behind Table 1)."""
+    if collector.enabled:
+        collector.instant(
+            "access_phase.decision", cat="compiler.decision",
+            args={
+                "task": result.task.name,
+                "method": result.method,
+                "affine_loops": result.affine_loops,
+                "total_loops": result.total_loops,
+                "reason": result.reason,
+            },
+        )
+    return result
+
+
+def _emit_loops(collector, task: Function, analysis: AccessAnalysis,
+                method: str) -> None:
+    """Record every target loop's strategy and any bail reasons."""
+    if not collector.enabled:
+        return
+    for lc in analysis.loop_classes:
+        if lc.loop.parent is not None:
+            continue
+        strategy = method if method != "none" else "none"
+        if method == "affine" and not lc.is_affine:
+            strategy = "skeleton"  # unreachable today, defensive
+        collector.instant(
+            "access_phase.loop", cat="compiler.decision",
+            args={
+                "task": task.name,
+                "loop": lc.loop.header.name,
+                "affine": lc.is_affine,
+                "strategy": strategy,
+                "reasons": list(lc.reasons),
+            },
+        )
+
+
 def generate_access_phase(task: Function,
                           module: Optional[Module] = None,
                           options: Optional[AccessPhaseOptions] = None,
@@ -70,7 +110,18 @@ def generate_access_phase(task: Function,
     """
     options = options or AccessPhaseOptions()
     access_name = name or task.name + "_access"
+    collector = get_collector()
 
+    with collector.span("access_phase.generate", cat="compiler.access",
+                        args={"task": task.name}) as span:
+        result = _generate(task, module, options, access_name, collector)
+        span.args["method"] = result.method
+    return _emit_decision(collector, result)
+
+
+def _generate(task: Function, module: Optional[Module],
+              options: AccessPhaseOptions, access_name: str,
+              collector) -> AccessPhaseResult:
     work = clone_function(task, access_name)
     try:
         inline_all_calls(work)
@@ -90,6 +141,7 @@ def generate_access_phase(task: Function,
         and analysis.is_affine_task()
     )
     if options.force_method == "affine" and not analysis.is_affine_task():
+        _emit_loops(collector, task, analysis, "none")
         return AccessPhaseResult(
             task=task, access=None, method="none",
             affine_loops=affine_loops, total_loops=total_loops,
@@ -108,13 +160,20 @@ def generate_access_phase(task: Function,
             )
             if module is not None:
                 module.add_function(access)
+            _emit_loops(collector, task, analysis, "affine")
             return AccessPhaseResult(
                 task=task, access=access, method="affine",
                 affine_loops=affine_loops, total_loops=total_loops,
                 plan=plan,
             )
         except (AffineGenerationError, EmitError) as exc:
+            if collector.enabled:
+                collector.instant(
+                    "access_phase.affine_bail", cat="compiler.decision",
+                    args={"task": task.name, "reason": str(exc)},
+                )
             if options.force_method == "affine":
+                _emit_loops(collector, task, analysis, "none")
                 return AccessPhaseResult(
                     task=task, access=None, method="none",
                     affine_loops=affine_loops, total_loops=total_loops,
@@ -132,6 +191,7 @@ def generate_access_phase(task: Function,
     verify_function(work)
     if module is not None:
         module.add_function(work)
+    _emit_loops(collector, task, analysis, "skeleton")
     return AccessPhaseResult(
         task=task, access=work, method="skeleton",
         affine_loops=affine_loops, total_loops=total_loops,

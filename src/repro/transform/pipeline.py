@@ -5,29 +5,59 @@ generation so the generator starts from clean SSA (Section 1: "the
 compiler can derive the access phase after applying traditional compiler
 optimizations to the original code, thereby leading to leaner access
 phases").
+
+When the observability collector is enabled, each pass invocation is
+recorded as a wall-clock span (category ``compiler.pass``) carrying its
+change count; the whole fixed-point run is one enclosing
+``pipeline.optimize`` span.  Disabled, the only cost is one truthiness
+check per ``optimize_function`` call.
 """
 
 from __future__ import annotations
 
 from ..ir import Function, Module, verify_function
+from ..obs.events import get_collector
 from .dce import dead_code_elimination
 from .gvn import global_value_numbering
 from .mem2reg import mem2reg
 from .simplify_cfg import simplify_cfg
 
+#: The fixed-point pass group, in application order.
+_PASSES = (
+    ("simplify_cfg", simplify_cfg),
+    ("gvn", global_value_numbering),
+    ("dce", dead_code_elimination),
+    ("mem2reg", mem2reg),
+)
+
+
+def _run_pass(collector, name: str, pass_fn, func: Function) -> int:
+    if not collector.enabled:
+        return pass_fn(func)
+    with collector.span("pass." + name, cat="compiler.pass",
+                        args={"function": func.name}) as span:
+        changes = pass_fn(func)
+        span.args["changes"] = int(changes)
+    return changes
+
 
 def optimize_function(func: Function, verify: bool = True) -> Function:
     """mem2reg + GVN + CFG simplification + DCE, to a fixed point."""
-    mem2reg(func)
-    for _ in range(4):
-        changed = simplify_cfg(func) > 0
-        changed |= global_value_numbering(func) > 0
-        changed |= dead_code_elimination(func) > 0
-        changed |= mem2reg(func) > 0
-        if not changed:
-            break
-    if verify:
-        verify_function(func)
+    collector = get_collector()
+    with collector.span("pipeline.optimize", cat="compiler",
+                        args={"function": func.name}) as span:
+        _run_pass(collector, "mem2reg", mem2reg, func)
+        iterations = 0
+        for _ in range(4):
+            iterations += 1
+            changed = False
+            for name, pass_fn in _PASSES:
+                changed |= _run_pass(collector, name, pass_fn, func) > 0
+            if not changed:
+                break
+        span.args["iterations"] = iterations
+        if verify:
+            verify_function(func)
     return func
 
 

@@ -221,6 +221,38 @@ class TestHullRejection:
         (decision,) = result.plan.hull_decisions
         assert decision["hull"] is True
 
+    # Two translated triangles whose overlap appears/disappears with
+    # (N, B): the union count is piecewise polynomial, so Ehrhart
+    # interpolation cannot fit one closed form.  The hull test must
+    # report "inconclusive" and scan per-polytope instead of raising.
+    CHAMBERED = """
+    task chambered(A: f64*, N: i64, B: i64) {
+      var i: i64; var j: i64;
+      for (i = 0; i < B; i = i + 1) {
+        for (j = i; j < B; j = j + 1) {
+          A[(i+2)*N + j] = A[(i+2)*N + j] + A[i*N + j+3] * 0.5;
+        }
+      }
+    }
+    """
+
+    def test_chambered_union_count_bails_to_per_polytope(self):
+        result, _ = build(self.CHAMBERED, "chambered")
+        assert result.method == "affine"
+        bails = [
+            d for d in result.plan.hull_decisions
+            if d.get("reason") == "count is chambered; hull test inconclusive"
+        ]
+        assert bails and all(d["hull"] is False for d in bails)
+
+        loads, prefetches = coverage(
+            result, None,
+            lambda memory: [
+                memory.alloc_array(8, 144, "A", init=[1.0] * 144), 12, 5,
+            ],
+        )
+        assert loads <= prefetches
+
 
 class TestPrefetchDedup:
     def test_duplicate_addresses_emitted_once(self):

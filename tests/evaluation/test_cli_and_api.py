@@ -22,6 +22,30 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["figure9"])
 
+    def test_trace_requires_app(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "bogus"])
+
+    def test_app_argument_rejected_for_other_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["figure1", "cholesky"])
+
+    def test_event_log_flags(self, capsys, tmp_path):
+        import json
+
+        trace_path = str(tmp_path / "f1.trace.json")
+        events_path = str(tmp_path / "f1.events.jsonl")
+        assert main(["figure1", "--trace", trace_path,
+                     "--events", events_path]) == 0
+        doc = json.load(open(trace_path))
+        assert isinstance(doc["traceEvents"], list)
+        for line in open(events_path):
+            assert json.loads(line)["name"]
+
 
 class TestPublicAPI:
     def test_version(self):

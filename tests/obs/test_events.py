@@ -1,0 +1,174 @@
+"""Collector semantics: enable/disable, spans, nesting, threads."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.events import get_collector, set_collector
+
+
+class TestEnableDisable:
+    def test_global_default_starts_disabled(self):
+        assert obs.enabled() is False
+        assert get_collector().enabled is False
+
+    def test_disabled_collector_records_nothing(self):
+        col = obs.Collector(enabled=False)
+        col.instant("x")
+        col.counter("y", 1.0)
+        with col.span("z"):
+            pass
+        assert len(col.events()) == 0
+
+    def test_enable_disable_round_trip(self):
+        col = get_collector()
+        before = len(col.events())
+        obs.enable()
+        try:
+            col.instant("while_enabled")
+        finally:
+            obs.disable()
+        col.instant("while_disabled")
+        events = col.events()
+        assert len(events) == before + 1
+        assert events[-1].name == "while_enabled"
+        col.clear()
+
+    def test_disabled_span_is_shared_null_object(self):
+        col = obs.Collector(enabled=False)
+        assert col.span("a") is col.span("b")
+
+    def test_span_args_writable_even_when_disabled(self):
+        col = obs.Collector(enabled=False)
+        with col.span("a") as span:
+            span.args["changes"] = 3  # must not raise, must not record
+        assert len(col.events()) == 0
+
+
+class TestCollecting:
+    def test_installs_and_restores_default(self):
+        original = get_collector()
+        with obs.collecting() as col:
+            assert get_collector() is col
+            assert col.enabled
+        assert get_collector() is original
+
+    def test_empty_collector_is_still_installed(self):
+        # Regression: Collector defines __len__, so an empty collector is
+        # falsy — `collector or default` silently dropped the caller's.
+        mine = obs.Collector(enabled=True)
+        assert len(mine.events()) == 0
+        with obs.collecting(mine):
+            assert get_collector() is mine
+
+    def test_set_collector_returns_previous(self):
+        original = get_collector()
+        mine = obs.Collector(enabled=True)
+        old = set_collector(mine)
+        try:
+            assert old is original
+            assert get_collector() is mine
+        finally:
+            set_collector(original)
+
+
+class TestSpans:
+    def test_span_records_duration_and_args(self):
+        with obs.collecting() as col:
+            with col.span("work", cat="test", args={"k": "v"}) as span:
+                span.args["extra"] = 1
+        (event,) = col.events()
+        assert event.kind == "span"
+        assert event.name == "work"
+        assert event.dur_ns >= 0
+        assert event.args == {"k": "v", "extra": 1}
+
+    def test_nesting_depth_and_containment(self):
+        with obs.collecting() as col:
+            with col.span("outer"):
+                with col.span("inner"):
+                    pass
+        by_name = {e.name: e for e in col.events()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.depth == 0
+        assert inner.depth == 1
+        assert outer.ts_ns <= inner.ts_ns
+        assert outer.ts_ns + outer.dur_ns >= inner.ts_ns + inner.dur_ns
+
+    def test_exception_recorded_and_propagated(self):
+        with obs.collecting() as col:
+            with pytest.raises(ValueError):
+                with col.span("boom"):
+                    raise ValueError("nope")
+        (event,) = col.events()
+        assert "ValueError" in event.args["error"]
+
+    def test_depth_recovers_after_exception(self):
+        with obs.collecting() as col:
+            with pytest.raises(ValueError):
+                with col.span("boom"):
+                    raise ValueError
+            with col.span("after"):
+                pass
+        assert {e.name: e.depth for e in col.events()}["after"] == 0
+
+
+class TestCountersAndInstants:
+    def test_counter_value(self):
+        with obs.collecting() as col:
+            col.counter("misses", 42, cat="sim", args={"level": "llc"})
+        (event,) = col.events()
+        assert event.kind == "counter"
+        assert event.value == 42.0
+        assert event.args == {"level": "llc"}
+
+    def test_select_by_name_and_category(self):
+        with obs.collecting() as col:
+            col.instant("a", cat="compiler.decision")
+            col.instant("b", cat="runtime.scheduler")
+            col.instant("a", cat="compiler.decision")
+        assert len(col.select(name="a")) == 2
+        assert len(col.select(cat="compiler")) == 2
+        assert len(col.select(name="b", cat="runtime")) == 1
+
+    def test_to_dict_schema(self):
+        with obs.collecting() as col:
+            col.instant("i", args={"x": 1})
+            col.counter("c", 2.0)
+            with col.span("s"):
+                pass
+        instant, counter, span = col.events()
+        assert {"name", "kind", "ts_ns", "cat", "tid"} <= set(instant.to_dict())
+        assert counter.to_dict()["value"] == 2.0
+        assert "dur_ns" in span.to_dict() and "depth" in span.to_dict()
+
+    def test_clear(self):
+        with obs.collecting() as col:
+            col.instant("x")
+            col.clear()
+            assert len(col.events()) == 0
+
+
+class TestThreads:
+    def test_concurrent_emission_is_lossless(self):
+        barrier = threading.Barrier(4)
+        with obs.collecting() as col:
+            def worker():
+                barrier.wait()   # all threads alive at once: distinct tids
+                for i in range(200):
+                    col.instant("tick", args={"i": i})
+                with col.span("thread_work"):
+                    col.counter("n", 1)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = col.events()
+        assert len(events) == 4 * 202
+        # Each thread got its own stable small tid.
+        tids = {e.tid for e in events}
+        assert len(tids) == 4
+        assert tids <= set(range(8))

@@ -1,0 +1,106 @@
+"""Exporter schemas: Chrome trace_event JSON and JSONL."""
+
+import json
+
+from repro import obs
+from repro.obs.export import COMPILER_PID, SCHEDULER_PID_BASE
+
+
+def collect_sample():
+    with obs.collecting() as col:
+        with col.span("pipeline.optimize", cat="compiler",
+                      args={"function": "t"}):
+            with col.span("pass.gvn", cat="compiler.pass") as span:
+                span.args["changes"] = 2
+        col.instant("access_phase.decision", cat="compiler.decision",
+                    args={"task": "t", "method": "affine"})
+        col.counter("phase.instructions", 123, cat="runtime.phase",
+                    args={"task": "t", "trace": {"flops": 7}})
+    timeline = obs.Timeline(scheme="dae", policy="optimal")
+    timeline.add(0, "access", 0.0, 100.0, task="t", freq_ghz=1.6)
+    timeline.add(0, "execute", 100.0, 300.0, task="t", freq_ghz=3.4)
+    timeline.add(1, "idle", 0.0, 300.0)
+    return col.events(), [timeline]
+
+
+class TestChromeTrace:
+    def test_document_shape_and_required_keys(self):
+        events, timelines = collect_sample()
+        doc = obs.to_chrome_trace(events, timelines)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for entry in doc["traceEvents"]:
+            assert {"ph", "ts", "pid", "tid"} <= set(entry), entry
+            assert "name" in entry
+
+    def test_round_trips_through_json(self):
+        events, timelines = collect_sample()
+        doc = json.loads(json.dumps(obs.to_chrome_trace(events, timelines)))
+        assert doc["traceEvents"]
+
+    def test_ts_monotone_per_track(self):
+        events, timelines = collect_sample()
+        doc = obs.to_chrome_trace(events, timelines)
+        tracks = {}
+        for entry in doc["traceEvents"]:
+            if entry["ph"] == "M":
+                continue
+            tracks.setdefault((entry["pid"], entry["tid"]), []).append(
+                entry["ts"]
+            )
+        assert tracks
+        for stamps in tracks.values():
+            assert stamps == sorted(stamps)
+
+    def test_pids_split_compiler_and_scheduler(self):
+        events, timelines = collect_sample()
+        doc = obs.to_chrome_trace(events, timelines)
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert COMPILER_PID in pids
+        assert SCHEDULER_PID_BASE in pids
+
+    def test_phase_kinds(self):
+        events, timelines = collect_sample()
+        doc = obs.to_chrome_trace(events, timelines)
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phs
+
+    def test_counter_args_numeric_only(self):
+        events, _ = collect_sample()
+        doc = obs.to_chrome_trace(events)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        for counter in counters:
+            for value in counter["args"].values():
+                assert isinstance(value, (int, float))
+
+    def test_write_chrome_trace(self, tmp_path):
+        events, timelines = collect_sample()
+        path = obs.write_chrome_trace(
+            str(tmp_path / "out.trace.json"), events, timelines
+        )
+        doc = json.load(open(path))
+        assert doc["traceEvents"]
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line(self):
+        events, _ = collect_sample()
+        text = obs.to_jsonl(events)
+        lines = text.strip().split("\n")
+        assert len(lines) == len(events)
+        parsed = [json.loads(line) for line in lines]
+        for obj in parsed:
+            assert {"name", "kind", "ts_ns", "cat", "tid"} <= set(obj)
+
+    def test_full_args_survive_jsonl(self):
+        events, _ = collect_sample()
+        rows = [json.loads(l) for l in obs.to_jsonl(events).splitlines()]
+        counter = next(r for r in rows if r["kind"] == "counter")
+        # Non-numeric args are dropped from the Chrome export but kept here.
+        assert counter["args"]["trace"] == {"flops": 7}
+
+    def test_write_jsonl(self, tmp_path):
+        events, _ = collect_sample()
+        path = obs.write_jsonl(str(tmp_path / "events.jsonl"), events)
+        assert sum(1 for _ in open(path)) == len(events)

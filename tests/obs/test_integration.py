@@ -1,0 +1,157 @@
+"""End-to-end observability over a real Cholesky DAE run.
+
+Compiles the Cholesky workload, profiles the DAE scheme, and schedules
+it with timeline recording on — then checks that the trace alone can
+answer the paper's questions (which loops went affine, where the time
+went) and that the recorded timeline is exactly consistent with the
+``ScheduleResult``.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.evaluation import relative_metrics
+from repro.power.frequency import OptimalEDPPolicy
+from repro.runtime.profiler import TaskStreamProfiler
+from repro.runtime.scheduler import DAEScheduler
+from repro.sim import MachineConfig
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """(collector, schedule result) of one fully observed Cholesky run."""
+    collector = obs.Collector(enabled=True)
+    config = MachineConfig()
+    with obs.collecting(collector):
+        workload = workload_by_name("cholesky")
+        compiled = workload.compile()
+        memory, tasks, _ = workload.instantiate(scale=1, compiled=compiled)
+        stream = TaskStreamProfiler(memory, config).profile(tasks, "dae")
+        result = DAEScheduler(config).run(
+            stream.tasks, "dae", OptimalEDPPolicy(), record_timeline=True
+        )
+    return collector, result
+
+
+class TestCompilerEvents:
+    def test_emits_affine_decision(self, traced):
+        collector, _ = traced
+        decisions = collector.select(name="access_phase.decision")
+        assert len(decisions) >= 1
+        affine = [d for d in decisions if d.args["method"] == "affine"]
+        assert len(affine) >= 1
+        for event in affine:
+            assert event.args["task"]
+            assert event.args["affine_loops"] >= 1
+
+    def test_emits_per_loop_strategy(self, traced):
+        collector, _ = traced
+        loops = collector.select(name="access_phase.loop")
+        assert len(loops) >= 1
+        for event in loops:
+            assert event.args["strategy"] in ("affine", "skeleton", "none")
+            assert isinstance(event.args["reasons"], list)
+
+    def test_emits_pass_spans(self, traced):
+        collector, _ = traced
+        spans = collector.select(cat="compiler.pass")
+        assert spans
+        assert any(e.name == "pass.gvn" for e in spans)
+
+    def test_emits_phase_counters_with_snapshots(self, traced):
+        collector, _ = traced
+        counters = collector.select(name="phase.instructions")
+        assert counters
+        sample = counters[0]
+        assert sample.args["trace"]["instructions"] == sample.value
+        assert "loads" in sample.args["cache"]
+
+
+class TestTimeline:
+    def test_per_core_durations_sum_to_total_time(self, traced):
+        _, result = traced
+        timeline = result.timeline
+        assert timeline is not None
+        per_core = timeline.per_core()
+        assert len(per_core) == MachineConfig().cores
+        for segments in per_core.values():
+            total_s = sum(s.dur_ns for s in segments) * 1e-9
+            assert abs(total_s - result.time_s) < 1e-9
+
+    def test_segments_tile_exactly(self, traced):
+        _, result = traced
+        result.timeline.validate(result.time_ns)
+
+    def test_phases_present_with_operating_points(self, traced):
+        _, result = traced
+        kinds = {s.kind for s in result.timeline.segments}
+        assert {"access", "execute", "overhead"} <= kinds
+        for segment in result.timeline.segments:
+            if segment.kind in ("access", "execute"):
+                assert segment.freq_ghz > 0
+                assert segment.task
+
+    def test_timeline_off_when_disabled(self, traced):
+        _, result = traced
+        # Outside any collecting() block the default is disabled, so a
+        # plain run records no timeline and emits no events.
+        assert not obs.enabled()
+        fresh = DAEScheduler(MachineConfig()).run(
+            [], "dae", OptimalEDPPolicy()
+        )
+        assert fresh.timeline is None
+
+
+class TestSummary:
+    def test_summary_matches_result(self, traced):
+        _, result = traced
+        summary = result.summary()
+        assert summary["time_s"] == result.time_s
+        assert summary["energy_j"] == result.energy_j
+        assert summary["edp_js"] == result.edp_js
+        buckets = summary["buckets"]
+        assert buckets["prefetch_j"] + buckets["task_j"] + buckets["osi_j"] \
+            == pytest.approx(result.energy_j)
+
+    def test_relative_metrics_identity(self, traced):
+        _, result = traced
+        relative = relative_metrics(result, result)
+        assert relative == {"time": 1.0, "energy": 1.0, "edp": 1.0}
+
+
+class TestArtifacts:
+    def test_chrome_trace_from_real_run(self, traced, tmp_path):
+        collector, result = traced
+        path = obs.write_chrome_trace(
+            str(tmp_path / "chol.trace.json"),
+            collector.events(), [result.timeline],
+        )
+        doc = json.load(open(path))
+        assert doc["traceEvents"]
+        tracks = {}
+        for entry in doc["traceEvents"]:
+            if entry["ph"] == "M":
+                continue
+            assert {"ph", "ts", "pid", "tid"} <= set(entry)
+            tracks.setdefault((entry["pid"], entry["tid"]), []).append(
+                entry["ts"]
+            )
+        for stamps in tracks.values():
+            assert stamps == sorted(stamps)
+
+    def test_explain_report_names_loops_and_strategies(self, traced):
+        collector, result = traced
+        report = obs.explain_report(
+            "cholesky", collector.events(),
+            schedules={"Compiler DAE": result.summary()},
+            timelines=[result.timeline],
+        )
+        assert "chol_diag" in report
+        assert "chol_panel" in report
+        assert "chol_update" in report
+        assert "affine" in report
+        assert "Schedule breakdown" in report
+        assert "Per-core timeline" in report

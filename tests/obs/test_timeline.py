@@ -1,0 +1,56 @@
+"""Timeline model: the per-core coverage invariant and aggregations."""
+
+import pytest
+
+from repro.obs import SEGMENT_KINDS, Timeline
+
+
+def make_timeline():
+    t = Timeline(scheme="dae", policy="optimal")
+    t.add(0, "overhead", 0.0, 40.0, task="t0", freq_ghz=1.6)
+    t.add(0, "access", 40.0, 140.0, task="t0", freq_ghz=1.6)
+    t.add(0, "switch", 140.0, 160.0, freq_ghz=3.4)
+    t.add(0, "execute", 160.0, 400.0, task="t0", freq_ghz=3.4)
+    t.add(1, "steal", 0.0, 120.0)
+    t.add(1, "overhead", 120.0, 160.0, task="t1", freq_ghz=1.6)
+    t.add(1, "execute", 160.0, 300.0, task="t1", freq_ghz=3.4)
+    t.add(1, "idle", 300.0, 400.0)
+    return t
+
+
+class TestTimeline:
+    def test_kinds_are_closed(self):
+        with pytest.raises(ValueError):
+            Timeline().add(0, "nap", 0.0, 1.0)
+
+    def test_per_core_sorted(self):
+        t = Timeline()
+        t.add(0, "execute", 10.0, 20.0)
+        t.add(0, "overhead", 0.0, 10.0)
+        segments = t.per_core()[0]
+        assert [s.kind for s in segments] == ["overhead", "execute"]
+
+    def test_core_total_and_kind_totals(self):
+        t = make_timeline()
+        assert t.core_total_ns(0) == pytest.approx(400.0)
+        assert t.core_total_ns(1) == pytest.approx(400.0)
+        totals = t.kind_totals_ns()
+        assert set(totals) == set(SEGMENT_KINDS)
+        assert totals["execute"] == pytest.approx(240.0 + 140.0)
+        assert totals["idle"] == pytest.approx(100.0)
+
+    def test_validate_accepts_full_coverage(self):
+        make_timeline().validate(400.0)
+
+    def test_validate_rejects_gap(self):
+        t = Timeline()
+        t.add(0, "execute", 0.0, 100.0)
+        t.add(0, "execute", 150.0, 400.0)   # 50 ns hole
+        with pytest.raises(AssertionError):
+            t.validate(400.0)
+
+    def test_validate_rejects_short_core(self):
+        t = Timeline()
+        t.add(0, "execute", 0.0, 100.0)
+        with pytest.raises(AssertionError):
+            t.validate(400.0)

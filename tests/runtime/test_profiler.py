@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import obs
 from repro.runtime import ProfileError, TaskStreamProfiler
+from repro.runtime.task import TaskInstance, TaskKind
 from repro.sim import MachineConfig
 from repro.workloads import workload_by_name
 
@@ -38,6 +40,72 @@ class TestSchemes:
         memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
         with pytest.raises(ProfileError):
             TaskStreamProfiler(memory, MachineConfig()).profile(tasks, "bogus")
+
+
+def strip_access(tasks):
+    """The same task stream with every access version removed."""
+    stripped_kinds = {}
+    out = []
+    for instance in tasks:
+        kind = instance.kind
+        if kind.name not in stripped_kinds:
+            stripped_kinds[kind.name] = TaskKind(
+                name=kind.name, execute=kind.execute,
+                access=None, manual_access=None, method="none",
+            )
+        out.append(TaskInstance(kind=stripped_kinds[kind.name],
+                                args=instance.args))
+    return out
+
+
+class TestMissingAccessVersions:
+    """Tasks without an access version under 'dae'/'manual' (§ runtime
+    fallback): silent coupled profiling by default, ProfileError in
+    strict mode, obs warning either way."""
+
+    @pytest.mark.parametrize("scheme", ["dae", "manual"])
+    def test_strict_raises_with_task_and_scheme(self, cg_setup, scheme):
+        w, compiled = cg_setup
+        memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+        tasks = strip_access(tasks)
+        profiler = TaskStreamProfiler(memory, MachineConfig())
+        with pytest.raises(ProfileError) as excinfo:
+            profiler.profile(tasks, scheme, strict=True)
+        message = str(excinfo.value)
+        assert tasks[0].name in message
+        assert scheme in message
+
+    def test_non_strict_profiles_as_coupled(self, cg_setup):
+        w, compiled = cg_setup
+        memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+        stream = TaskStreamProfiler(memory, MachineConfig()).profile(
+            strip_access(tasks), "dae"
+        )
+        assert all(t.access is None for t in stream.tasks)
+        assert all(t.execute.instructions > 0 for t in stream.tasks)
+
+    def test_non_strict_emits_warning_event(self, cg_setup):
+        w, compiled = cg_setup
+        memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+        with obs.collecting() as col:
+            TaskStreamProfiler(memory, MachineConfig()).profile(
+                strip_access(tasks), "dae"
+            )
+        warnings = col.select(name="profiler.missing_access")
+        assert warnings
+        assert warnings[0].args["scheme"] == "dae"
+        assert warnings[0].cat.startswith("warning")
+        # One warning per task kind, not per dynamic instance.
+        kinds = {event.args["task"] for event in warnings}
+        assert len(warnings) == len(kinds)
+
+    def test_strict_ok_when_access_present(self, cg_setup):
+        w, compiled = cg_setup
+        memory, tasks, _ = w.instantiate(scale=1, compiled=compiled)
+        stream = TaskStreamProfiler(memory, MachineConfig()).profile(
+            tasks, "dae", strict=True
+        )
+        assert all(t.access is not None for t in stream.tasks)
 
 
 class TestWarmup:
