@@ -1,0 +1,96 @@
+"""Engine benchmark: serial vs parallel profiling, cold vs warm cache.
+
+Measures three configurations of the evaluation engine over the same
+workload set and writes the timings to ``BENCH_engine.json``:
+
+* ``serial_cold``   — ``jobs=1``, empty cache (the pre-engine baseline);
+* ``parallel_cold`` — ``jobs=N``, empty cache (process-pool fan-out);
+* ``warm``          — any job count, fully-populated cache (should be
+  near-instant: every product is served from disk).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --scale 1 --jobs 4
+
+Not a pytest module on purpose — the tier-1 suite must stay fast; CI
+runs this as a separate step at scale 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+
+from repro.engine import ExperimentSpec, ProfileCache, run_experiment
+
+
+def _measure(spec: ExperimentSpec) -> dict:
+    started = time.perf_counter()
+    result = run_experiment(spec)
+    elapsed = time.perf_counter() - started
+    stats = result.stats
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "workloads": len(result),
+        "cache_hits": stats.cache_hits,
+        "parallel_jobs": stats.parallel_jobs,
+        "serial_jobs": stats.serial_jobs,
+        "fallbacks": stats.fallbacks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel_cold leg")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="subset of workload names (default: all seven)")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    workloads = tuple(args.workloads or ())
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        def spec(jobs: int) -> ExperimentSpec:
+            return ExperimentSpec(
+                workloads=workloads, scale=args.scale, jobs=jobs,
+                cache=True, cache_dir=root,
+            )
+
+        cache = ProfileCache(root)
+
+        cache.clear()
+        serial_cold = _measure(spec(jobs=1))
+        cache.clear()
+        parallel_cold = _measure(spec(jobs=args.jobs))
+        warm = _measure(spec(jobs=args.jobs))
+
+    doc = {
+        "bench": "engine",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "serial_cold": serial_cold,
+        "parallel_cold": parallel_cold,
+        "warm": warm,
+        "speedup_parallel": round(
+            serial_cold["elapsed_s"] / parallel_cold["elapsed_s"], 2
+        ) if parallel_cold["elapsed_s"] else None,
+        "speedup_warm": round(
+            serial_cold["elapsed_s"] / warm["elapsed_s"], 2
+        ) if warm["elapsed_s"] else None,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(doc, indent=2))
+    if warm["cache_hits"] != warm["workloads"]:
+        print("WARNING: warm leg recomputed %d workloads"
+              % (warm["workloads"] - warm["cache_hits"]))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,15 @@ from .transform.access_phase import (
 
 __version__ = "0.1.0"
 
+# The engine facade imports repro.__version__ (lazily, for its cache
+# key), so it must come after the assignment above.
+from .engine import (  # noqa: E402
+    EngineResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from .runtime.task import Scheme  # noqa: E402
+
 __all__ = [
     "compile_source", "parse",
     "Function", "Module", "format_function", "format_module",
@@ -48,5 +57,6 @@ __all__ = [
     "optimize_function", "optimize_module",
     "AccessPhaseOptions", "AccessPhaseResult",
     "generate_access_phase", "generate_module_access_phases",
+    "EngineResult", "ExperimentSpec", "run_experiment", "Scheme",
     "__version__",
 ]

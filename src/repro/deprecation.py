@@ -1,0 +1,31 @@
+"""One-shot deprecation warnings for the typed-API transition.
+
+PR 2 replaced the stringly-typed ``scheme``/``policy`` plumbing with
+:class:`repro.runtime.task.Scheme` and the
+:meth:`repro.power.frequency.FrequencyPolicy.from_name` registry.  The
+string overloads keep working, but each distinct call pattern warns
+exactly once per process so long-running harnesses are not flooded.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+_seen: set = set()
+_lock = threading.Lock()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    with _lock:
+        if key in _seen:
+            return
+        _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget all emitted warnings (test helper)."""
+    with _lock:
+        _seen.clear()

@@ -1,0 +1,265 @@
+"""The evaluation engine: cache probe + process-pool fan-out.
+
+:func:`run_experiment` is the single entry point the evaluation layer
+calls.  For each workload in the spec it either
+
+1. serves the profiling product from the persistent cache
+   (:mod:`repro.engine.cache`),
+2. computes it in a ``ProcessPoolExecutor`` worker (``jobs > 1``), or
+3. computes it serially in-process.
+
+Pool execution is strictly best-effort: results are collected in spec
+order (deterministic regardless of completion order), each job gets a
+wall-clock timeout and a single retry, and *any* pool-level failure —
+an unpicklable payload, a crashed or missing worker, a sandbox that
+forbids ``fork`` — degrades that job (or the whole batch) to the serial
+path, which is the same :func:`~repro.engine.products.profile_workload`
+call the workers run.  Parallel and serial results are therefore
+interchangeable.
+
+The engine reports into :mod:`repro.obs`: an ``engine.run`` span wraps
+the batch, per-job instants show the fan-out, and ``engine.*`` counters
+mirror :class:`~repro.engine.spec.EngineStats` (the cache-hit counter is
+how a warm run proves it skipped all profiling).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..obs.events import get_collector
+from ..workloads.base import Workload
+from .cache import ProfileCache, cache_key, key_material
+from .products import (
+    WorkloadRun,
+    profile_workload,
+    run_from_payload,
+    run_to_payload,
+)
+from .spec import EngineResult, EngineStats, ExperimentSpec
+
+
+def _pool_worker(payload: tuple) -> dict:
+    """Top-level (picklable) worker: profile one workload, return the
+    slim JSON-able product."""
+    workload, scale, config, options, scheme_values = payload
+    run = profile_workload(
+        workload, scale, config, options=options, schemes=scheme_values,
+    )
+    return run_to_payload(run)
+
+
+@dataclass
+class _Job:
+    """One pending profiling job (cache already probed and missed)."""
+
+    workload: Workload
+    key: Optional[str] = None        # None -> uncacheable
+    material: Optional[dict] = None
+    future: object = None
+    run: Optional[WorkloadRun] = None
+    source: str = "serial"           # how it was ultimately computed
+    payload_cache: dict = field(default_factory=dict)
+
+    def payload_args(self, spec: ExperimentSpec) -> tuple:
+        return (
+            self.workload, spec.scale, spec.config, spec.options,
+            tuple(s.value for s in spec.schemes),
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> EngineResult:
+    """Execute ``spec`` and return its :class:`EngineResult`."""
+    collector = get_collector()
+    stats = EngineStats()
+    started = time.perf_counter()
+    with collector.span("engine.run", cat="engine", args={
+        "scale": spec.scale, "jobs": spec.jobs, "cache": spec.cache,
+    }) as span:
+        workloads = spec.resolve_workloads()
+        cache = ProfileCache(spec.cache_dir) if spec.cache else None
+        runs: dict[str, WorkloadRun] = {}
+        pending: list[_Job] = []
+
+        for workload in workloads:
+            job = _Job(workload=workload)
+            if cache is not None:
+                job.material = key_material(
+                    workload, spec.scale, spec.config, spec.options,
+                    spec.schemes,
+                )
+                if job.material is not None:
+                    job.key = cache_key(job.material)
+                    payload = cache.load(workload.name, job.key, job.material)
+                    if payload is not None:
+                        stats.cache_hits += 1
+                        collector.instant(
+                            "engine.cache.hit", cat="engine.cache",
+                            args={"workload": workload.name},
+                        )
+                        runs[workload.name] = run_from_payload(
+                            payload, workload, from_cache=True,
+                        )
+                        continue
+                stats.cache_misses += 1
+                collector.instant(
+                    "engine.cache.miss", cat="engine.cache",
+                    args={
+                        "workload": workload.name,
+                        "cacheable": job.material is not None,
+                    },
+                )
+            pending.append(job)
+
+        stats.jobs_scheduled = len(pending)
+        for job in pending:
+            collector.instant(
+                "engine.job.scheduled", cat="engine.pool",
+                args={"workload": job.workload.name},
+            )
+
+        if pending:
+            if spec.jobs > 1 and len(pending) > 1:
+                _execute_pool(pending, spec, stats, collector)
+            else:
+                _execute_serial(pending, spec, stats)
+
+        for job in pending:
+            assert job.run is not None
+            stats.jobs_completed += 1
+            collector.instant(
+                "engine.job.done", cat="engine.pool",
+                args={"workload": job.workload.name, "source": job.source},
+            )
+            if cache is not None and job.key is not None:
+                payload = job.payload_cache.get("payload")
+                if payload is None:
+                    payload = run_to_payload(job.run)
+                cache.store(
+                    job.workload.name, job.key, job.material, payload
+                )
+            runs[job.workload.name] = job.run
+
+        # Deterministic ordering: spec order, not completion order.
+        runs = {w.name: runs[w.name] for w in workloads}
+
+        stats.elapsed_s = time.perf_counter() - started
+        for name, value in stats.as_dict().items():
+            if name == "elapsed_s":
+                continue
+            collector.counter(
+                "engine.%s" % name, value, cat="engine.stats",
+            )
+        span.args.update(stats.as_dict())
+    return EngineResult(spec, runs, stats)
+
+
+# -- execution strategies ------------------------------------------------------
+
+
+def _run_serial_job(job: _Job, spec: ExperimentSpec) -> None:
+    job.run = profile_workload(
+        job.workload, spec.scale, spec.config,
+        options=spec.options, schemes=spec.schemes,
+    )
+
+
+def _execute_serial(jobs: list, spec: ExperimentSpec,
+                    stats: EngineStats) -> None:
+    for job in jobs:
+        _run_serial_job(job, spec)
+        job.source = "serial"
+        stats.serial_jobs += 1
+
+
+def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
+                  collector) -> None:
+    """Fan ``jobs`` out over a process pool; degrade gracefully.
+
+    Collection happens in submission (= spec) order.  Each job gets
+    ``spec.timeout_s`` of wall clock and one retry; a job that fails
+    twice — or a pool that cannot be created at all — is computed
+    serially in-process instead.
+    """
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=min(spec.jobs, len(jobs))
+        )
+    except Exception as exc:  # no fork / no semaphores / low resources
+        collector.instant(
+            "engine.pool.unavailable", cat="engine.pool",
+            args={"error": "%s: %s" % (type(exc).__name__, exc)},
+        )
+        stats.fallbacks += len(jobs)
+        _execute_serial(jobs, spec, stats)
+        return
+
+    def submit(job: _Job):
+        return executor.submit(_pool_worker, job.payload_args(spec))
+
+    timed_out = False
+    try:
+        try:
+            for job in jobs:
+                job.future = submit(job)
+        except Exception as exc:  # pool already broken at submit time
+            collector.instant(
+                "engine.pool.unavailable", cat="engine.pool",
+                args={"error": "%s: %s" % (type(exc).__name__, exc)},
+            )
+            remaining = [job for job in jobs if job.run is None]
+            stats.fallbacks += len(remaining)
+            _execute_serial(remaining, spec, stats)
+            return
+
+        for job in jobs:
+            payload = None
+            for attempt in (0, 1):
+                try:
+                    payload = job.future.result(timeout=spec.timeout_s)
+                    break
+                except FuturesTimeoutError:
+                    job.future.cancel()
+                    timed_out = True
+                    failure = "timeout"
+                except Exception as exc:
+                    failure = "%s: %s" % (type(exc).__name__, exc)
+                if attempt == 0:
+                    stats.retries += 1
+                    collector.instant(
+                        "engine.job.retry", cat="engine.pool",
+                        args={
+                            "workload": job.workload.name,
+                            "reason": failure,
+                        },
+                    )
+                    try:
+                        job.future = submit(job)
+                    except Exception:
+                        break  # pool unusable; go serial below
+                else:
+                    collector.instant(
+                        "engine.job.failed", cat="engine.pool",
+                        args={
+                            "workload": job.workload.name,
+                            "reason": failure,
+                        },
+                    )
+            if payload is not None:
+                job.run = run_from_payload(payload, job.workload)
+                job.source = "pool"
+                job.payload_cache["payload"] = payload
+                stats.parallel_jobs += 1
+            else:
+                stats.fallbacks += 1
+                _run_serial_job(job, spec)
+                job.source = "serial-fallback"
+                stats.serial_jobs += 1
+    finally:
+        # A timed-out worker may still be busy; don't block on it.  In
+        # every other case wait so the pool's pipes close cleanly.
+        executor.shutdown(wait=not timed_out, cancel_futures=True)

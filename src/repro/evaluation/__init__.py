@@ -2,6 +2,7 @@
 
 from .experiments import (
     FIGURE3_CONFIGS,
+    FIGURE4_CONFIGS,
     FIGURE4_WORKLOADS,
     Figure3Row,
     Figure4Point,
@@ -19,7 +20,10 @@ from .experiments import (
     table1_rows,
 )
 from .figure12 import (
+    FIGURE1_SPECS,
+    FIGURE2_SPEC,
     AnalysisDemo,
+    KernelSpec,
     analyze_kernel,
     figure1_demo,
     figure2_demo,
@@ -42,11 +46,12 @@ from .trace import (
 )
 
 __all__ = [
-    "FIGURE3_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row", "Figure4Point",
-    "Figure4Series", "HeadlineNumbers", "Table1Row", "WorkloadRun",
-    "figure3_rows", "figure4_series", "headline_numbers",
+    "FIGURE3_CONFIGS", "FIGURE4_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row",
+    "Figure4Point", "Figure4Series", "HeadlineNumbers", "Table1Row",
+    "WorkloadRun", "figure3_rows", "figure4_series", "headline_numbers",
     "relative_metrics", "run_all", "run_workload", "schedule", "table1_rows",
-    "AnalysisDemo", "analyze_kernel", "figure1_demo", "figure2_demo",
+    "FIGURE1_SPECS", "FIGURE2_SPEC", "AnalysisDemo", "KernelSpec",
+    "analyze_kernel", "figure1_demo", "figure2_demo",
     "render_figure1", "render_figure2", "single_hull_cells",
     "render_figure3", "render_figure4", "render_headline",
     "render_schedule_summary", "render_table1",

@@ -1,13 +1,23 @@
 """Command-line entry: ``python -m repro.evaluation <experiment>``.
 
-Experiments: table1, figure1, figure2, figure3, figure4, headline, all,
-and ``trace <app>`` (fully-observed single-workload run writing a Chrome
-trace, a JSONL event log, and an explain report).
+Experiments: ``table1``, ``figure1``, ``figure2``, ``figure3``,
+``figure4``, ``headline``, ``all``, ``trace <app>`` (fully-observed
+single-workload run writing a Chrome trace, a JSONL event log, and an
+explain report), and ``cache {stats,clear}`` (inspect / empty the
+persistent profile cache).
 
-Options: ``--scale N`` (workload size multiplier, default 1);
-``--trace PATH`` / ``--events PATH`` (dump the structured-event log of
-any experiment as a Chrome trace / JSONL without code changes);
-``--out PREFIX`` (artifact prefix for the trace experiment).
+All experiment subcommands share one flag set (a common argparse parent
+parser):
+
+* ``--scale N``     — workload size multiplier (default 1);
+* ``--jobs N``      — profile workloads in N worker processes;
+* ``--no-cache``    — recompute instead of consulting the profile cache;
+* ``--cache-dir D`` — cache root (default ``~/.cache/repro-dae`` or
+  ``$REPRO_CACHE_DIR``);
+* ``--trace PATH`` / ``--events PATH`` — dump the run's structured-event
+  log as a Chrome trace / JSONL.
+
+``trace`` additionally takes ``--out PREFIX`` for its artifact files.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ import argparse
 import sys
 
 from .. import obs
+from ..engine import ExperimentSpec, ProfileCache, run_experiment
 from ..sim.config import MachineConfig
 from ..workloads import ALL_WORKLOADS, workload_by_name
 from . import (
@@ -32,64 +43,100 @@ from . import (
     render_figure4,
     render_headline,
     render_table1,
-    run_all,
-    run_workload,
     table1_rows,
     trace_workload,
 )
 
+#: Experiments needing the full (all-workload) profiling matrix.
 _FULL_RUN_EXPERIMENTS = {"table1", "figure3", "headline", "all"}
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("shared options")
+    group.add_argument(
+        "--scale", type=int, default=1,
+        help="workload size multiplier (default 1)",
+    )
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="profile workloads in N worker processes (default 1 = serial)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute profiles instead of using the persistent cache",
+    )
+    group.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="profile cache root (default ~/.cache/repro-dae "
+             "or $REPRO_CACHE_DIR)",
+    )
+    group.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also write the run's event log as Chrome trace JSON",
+    )
+    group.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also write the run's event log as JSONL",
+    )
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=["table1", "figure1", "figure2", "figure3", "figure4",
-                 "headline", "all", "trace"],
+    sub = parser.add_subparsers(dest="experiment", required=True)
+    for name in ("table1", "figure1", "figure2", "figure3", "figure4",
+                 "headline", "all"):
+        sub.add_parser(
+            name, parents=[common],
+            help="regenerate %s" % name,
+        )
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="fully-observed single-workload run",
     )
-    parser.add_argument(
+    trace.add_argument(
         "app", nargs="?", default=None,
-        help="workload name (trace experiment only, e.g. 'cholesky')",
+        help="workload name (e.g. 'cholesky')",
     )
-    parser.add_argument("--scale", type=int, default=1)
-    parser.add_argument(
-        "--trace", metavar="PATH", default=None,
-        help="also write the run's event log as Chrome trace JSON",
-    )
-    parser.add_argument(
-        "--events", metavar="PATH", default=None,
-        help="also write the run's event log as JSONL",
-    )
-    parser.add_argument(
+    trace.add_argument(
         "--out", metavar="PREFIX", default=None,
-        help="artifact path prefix for the trace experiment "
-             "(default: the app name)",
+        help="artifact path prefix (default: the app name)",
     )
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent profile cache",
+    )
+    cache.add_argument("verb", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="profile cache root (default ~/.cache/repro-dae "
+             "or $REPRO_CACHE_DIR)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if args.experiment == "cache":
+        return _run_cache(args)
     if args.experiment == "trace":
         return _run_trace(args, parser)
-    if args.app is not None:
-        parser.error("'%s' does not take an app argument" % args.experiment)
 
     config = MachineConfig()
     sections = []
 
-    collector = None
     capture = obs.Collector(enabled=True) if (
         args.trace or args.events
     ) else None
     with obs.collecting(capture) if capture is not None else _NullContext():
-        collector = capture
         runs = None
         if args.experiment in _FULL_RUN_EXPERIMENTS:
-            print("profiling all workloads (scale %d)..." % args.scale,
-                  file=sys.stderr)
-            runs = run_all(scale=args.scale, config=config)
+            print("profiling all workloads (scale %d, jobs %d)..."
+                  % (args.scale, args.jobs), file=sys.stderr)
+            runs = run_experiment(_spec_from_args(args, workloads=()))
+            _report_engine(runs, file=sys.stderr)
 
         if args.experiment in ("table1", "all"):
             sections.append(render_table1(table1_rows(runs, config)))
@@ -100,20 +147,51 @@ def main(argv=None) -> int:
         if args.experiment in ("figure3", "all"):
             sections.append(render_figure3(figure3_rows(runs, config)))
         if args.experiment in ("figure4", "all"):
-            for name in FIGURE4_WORKLOADS:
-                run = (
-                    runs[name] if runs is not None
-                    else run_workload(workload_by_name(name), args.scale,
-                                      config)
+            if runs is None:
+                runs = run_experiment(
+                    _spec_from_args(args, workloads=FIGURE4_WORKLOADS)
                 )
+                _report_engine(runs, file=sys.stderr)
+            for name in FIGURE4_WORKLOADS:
                 sections.append(
-                    render_figure4(name, figure4_series(run, config))
+                    render_figure4(name, figure4_series(runs[name], config))
                 )
         if args.experiment in ("headline", "all"):
             sections.append(render_headline(headline_numbers(runs, config)))
 
-    _export_event_log(collector, args)
+    _export_event_log(capture, args)
     print("\n\n".join(sections))
+    return 0
+
+
+def _spec_from_args(args, workloads=()) -> ExperimentSpec:
+    return ExperimentSpec(
+        workloads=tuple(workloads),
+        scale=args.scale,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _report_engine(result, file) -> None:
+    stats = result.stats
+    print(
+        "engine: %d cached, %d profiled (%d pooled, %d serial) in %.1fs"
+        % (stats.cache_hits, stats.jobs_completed, stats.parallel_jobs,
+           stats.serial_jobs, stats.elapsed_s),
+        file=file,
+    )
+
+
+def _run_cache(args) -> int:
+    cache = ProfileCache(args.cache_dir)
+    if args.verb == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print("removed %d cache entr%s from %s"
+              % (removed, "y" if removed == 1 else "ies", cache.root))
     return 0
 
 

@@ -1,10 +1,17 @@
 """Experiment harness: everything Section 6 reports.
 
-One ``run_workload`` simulation per (workload, scheme) produces the
+One profiled run per (workload, scheme) produces the
 frequency-independent phase profiles; every figure and table is then
 evaluated analytically from those profiles — mirroring the paper's
 methodology of profiling at each frequency and combining with the power
 model (Section 3.1).
+
+Profiling goes through :mod:`repro.engine`: :func:`run_all` and
+:func:`run_workload` build an :class:`~repro.engine.ExperimentSpec` and
+hand it to :func:`~repro.engine.run_experiment`, which fans the
+(workload, scheme, scale, config) matrix over a process pool
+(``jobs=``) and serves repeat runs from the persistent profile cache
+(``cache=``).
 
 Entry points:
 
@@ -21,83 +28,111 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional, Union
 
-from ..power.frequency import FixedPolicy, FrequencyPolicy, MinMaxPolicy, OptimalEDPPolicy
-from ..runtime.profiler import StreamProfile, TaskStreamProfiler
+from ..deprecation import warn_once
+from ..engine import ExperimentSpec, WorkloadRun, run_experiment
+from ..engine.spec import EngineResult
+from ..power.frequency import FixedPolicy, FrequencyPolicy
 from ..runtime.scheduler import DAEScheduler, ScheduleResult
+from ..runtime.task import Scheme
 from ..sim.config import MachineConfig
-from ..workloads import ALL_WORKLOADS, Workload
-from ..workloads.base import CompiledWorkload
+from ..transform.access_phase import AccessPhaseOptions
+from ..workloads import Workload
 
-SCHEMES = ("cae", "dae", "manual")
+#: Legacy string triple; prefer :class:`repro.runtime.task.Scheme`.
+SCHEMES = tuple(s.value for s in Scheme)
 
-#: The five configurations of Figure 3, in legend order.
+#: The five configurations of Figure 3, in legend order:
+#: (label, profile stream, run scheme, policy name).
 FIGURE3_CONFIGS = (
-    ("CAE (Optimal f.)", "cae", "cae", "optimal"),
-    ("Manual DAE (Min/Max f.)", "manual", "dae", "minmax"),
-    ("Manual DAE (Optimal f.)", "manual", "dae", "optimal"),
-    ("Compiler DAE (Min/Max f.)", "dae", "dae", "minmax"),
-    ("Compiler DAE (Optimal f.)", "dae", "dae", "optimal"),
+    ("CAE (Optimal f.)", Scheme.CAE, Scheme.CAE, "optimal"),
+    ("Manual DAE (Min/Max f.)", Scheme.MANUAL, Scheme.DAE, "minmax"),
+    ("Manual DAE (Optimal f.)", Scheme.MANUAL, Scheme.DAE, "optimal"),
+    ("Compiler DAE (Min/Max f.)", Scheme.DAE, Scheme.DAE, "minmax"),
+    ("Compiler DAE (Optimal f.)", Scheme.DAE, Scheme.DAE, "optimal"),
 )
 
 
-@dataclass
-class WorkloadRun:
-    """All simulation products for one workload at one scale."""
-
-    workload: Workload
-    compiled: CompiledWorkload
-    profiles: dict[str, StreamProfile]
-    task_count: int
-
-
 def run_workload(workload: Workload, scale: int = 1,
-                 config: Optional[MachineConfig] = None) -> WorkloadRun:
-    """Compile and profile one workload under all three schemes."""
-    config = config or MachineConfig()
-    compiled = workload.compile()
-    profiles: dict[str, StreamProfile] = {}
-    task_count = 0
-    for scheme in SCHEMES:
-        memory, tasks, _ = workload.instantiate(scale=scale, compiled=compiled)
-        profiler = TaskStreamProfiler(memory, config)
-        profiles[scheme] = profiler.profile(tasks, scheme)
-        task_count = len(tasks)
-    return WorkloadRun(
-        workload=workload, compiled=compiled, profiles=profiles,
-        task_count=task_count,
-    )
+                 config: Optional[MachineConfig] = None, *,
+                 options: Optional[AccessPhaseOptions] = None,
+                 jobs: int = 1, cache: bool = False,
+                 cache_dir: Optional[str] = None) -> WorkloadRun:
+    """Compile and profile one workload under all three schemes.
+
+    Callers no longer pre-compile: pass compile-time knobs through the
+    keyword-only ``options``.  ``cache=True`` reuses (and fills) the
+    persistent profile cache; ``jobs`` is accepted for symmetry with
+    :func:`run_all` (a single workload is always one job).
+    """
+    result = run_experiment(ExperimentSpec(
+        workloads=(workload,), scale=scale,
+        config=config or MachineConfig(), options=options,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    ))
+    return result[workload.name]
 
 
 def run_all(scale: int = 1, config: Optional[MachineConfig] = None,
-            workloads=None) -> dict[str, WorkloadRun]:
-    config = config or MachineConfig()
-    result = {}
-    for cls in (workloads or ALL_WORKLOADS):
-        workload = cls() if isinstance(cls, type) else cls
-        result[workload.name] = run_workload(workload, scale, config)
+            workloads=None, *,
+            options: Optional[AccessPhaseOptions] = None,
+            jobs: int = 1, cache: bool = False,
+            cache_dir: Optional[str] = None) -> EngineResult:
+    """Profile ``workloads`` (default: all seven) under all schemes.
+
+    Returns an :class:`~repro.engine.EngineResult` — a mapping
+    ``workload name -> WorkloadRun`` (as before) that additionally
+    carries the engine's execution stats.  ``jobs > 1`` profiles
+    workloads in parallel worker processes; ``cache=True`` makes repeat
+    runs near-instant.
+    """
+    result = run_experiment(ExperimentSpec(
+        workloads=tuple(workloads) if workloads else (),
+        scale=scale, config=config or MachineConfig(), options=options,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    ))
     return result
 
 
 def _policy(name: str, config: MachineConfig) -> FrequencyPolicy:
-    if name == "minmax":
-        return MinMaxPolicy()
-    if name == "optimal":
-        return OptimalEDPPolicy()
-    if name == "fmax":
-        return FixedPolicy(config.fmax)
-    raise ValueError("unknown policy %r" % name)
+    """Deprecated: use :meth:`FrequencyPolicy.from_name`."""
+    warn_once(
+        "evaluation._policy",
+        "_policy() is deprecated; use FrequencyPolicy.from_name()",
+    )
+    return FrequencyPolicy.from_name(name, config)
 
 
-def schedule(run: WorkloadRun, scheme: str, policy: str,
+def _resolve_policy(policy: Union[FrequencyPolicy, str],
+                    config: MachineConfig) -> FrequencyPolicy:
+    if isinstance(policy, FrequencyPolicy):
+        return policy
+    warn_once(
+        "schedule-policy-str",
+        "passing policy as a string is deprecated; use "
+        "FrequencyPolicy.from_name() or a policy instance",
+    )
+    return FrequencyPolicy.from_name(policy, config)
+
+
+def schedule(run: WorkloadRun, scheme: Union[Scheme, str],
+             policy: Union[FrequencyPolicy, str],
              config: MachineConfig) -> ScheduleResult:
-    profile_scheme = "cae" if scheme == "cae" else scheme
+    """Schedule one profiled run under ``scheme`` with ``policy``.
+
+    ``scheme`` selects both the profile stream and the execution mode
+    (CAE runs coupled; DAE/MANUAL replay their access streams under the
+    DAE runtime).  Strings remain accepted for both parameters as
+    deprecation shims.
+    """
+    scheme = Scheme.coerce(scheme, context="evaluation.schedule")
+    stream = Scheme.CAE if scheme is Scheme.CAE else scheme
+    run_scheme = Scheme.CAE if scheme is Scheme.CAE else Scheme.DAE
     scheduler = DAEScheduler(config)
-    run_scheme = "cae" if scheme == "cae" else "dae"
     return scheduler.run(
-        run.profiles[profile_scheme].tasks, run_scheme,
-        _policy(policy, config),
+        run.profiles[stream.value].tasks, run_scheme,
+        _resolve_policy(policy, config),
     )
 
 
@@ -131,7 +166,7 @@ class Table1Row:
     paper_ta_usec: float
 
 
-def table1_rows(runs: dict[str, WorkloadRun],
+def table1_rows(runs: Mapping[str, WorkloadRun],
                 config: Optional[MachineConfig] = None) -> list[Table1Row]:
     """Application characteristics (Table 1), paper vs. measured.
 
@@ -141,7 +176,7 @@ def table1_rows(runs: dict[str, WorkloadRun],
     config = config or MachineConfig()
     rows = []
     for name, run in runs.items():
-        dae = run.profiles["dae"]
+        dae = run.profiles[Scheme.DAE.value]
         access_total_ns = 0.0
         execute_total_ns = 0.0
         access_phases = 0
@@ -185,19 +220,22 @@ class Figure3Row:
     edp: dict[str, float] = field(default_factory=dict)
 
 
-def figure3_rows(runs: dict[str, WorkloadRun],
+def figure3_rows(runs: Mapping[str, WorkloadRun],
                  config: Optional[MachineConfig] = None) -> list[Figure3Row]:
     """Figure 3 (a) time, (b) energy, (c) EDP for every workload plus
     the geometric mean, normalized to coupled execution at fmax."""
     config = config or MachineConfig()
     rows: list[Figure3Row] = []
     for name, run in runs.items():
-        baseline = schedule(run, "cae", "fmax", config)
+        baseline = schedule(
+            run, Scheme.CAE, FrequencyPolicy.from_name("fmax", config), config
+        )
         row = Figure3Row(name=name)
         for label, stream, scheme, policy in FIGURE3_CONFIGS:
             scheduler = DAEScheduler(config)
             result = scheduler.run(
-                run.profiles[stream].tasks, scheme, _policy(policy, config)
+                run.profiles[stream.value].tasks, scheme,
+                FrequencyPolicy.from_name(policy, config),
             )
             relative = relative_metrics(result, baseline)
             row.time[label] = relative["time"]
@@ -270,6 +308,14 @@ class _SweepPolicy(FrequencyPolicy):
         return self.execute
 
 
+#: Figure 4's three configurations: (label, profile stream, run scheme).
+FIGURE4_CONFIGS = (
+    ("CAE", Scheme.CAE, Scheme.CAE),
+    ("Manual DAE", Scheme.MANUAL, Scheme.DAE),
+    ("Auto DAE", Scheme.DAE, Scheme.DAE),
+)
+
+
 def figure4_series(run: WorkloadRun,
                    config: Optional[MachineConfig] = None
                    ) -> list[Figure4Series]:
@@ -277,19 +323,17 @@ def figure4_series(run: WorkloadRun,
     execute frequency sweeps fmin→fmax (access pinned at fmin)."""
     config = config or MachineConfig()
     series = []
-    for label, stream, scheme in (
-        ("CAE", "cae", "cae"),
-        ("Manual DAE", "manual", "dae"),
-        ("Auto DAE", "dae", "dae"),
-    ):
+    for label, stream, scheme in FIGURE4_CONFIGS:
         entry = Figure4Series(label=label)
         for point in config.operating_points:
             scheduler = DAEScheduler(config)
-            if scheme == "cae":
+            if scheme is Scheme.CAE:
                 policy: FrequencyPolicy = FixedPolicy(point)
             else:
                 policy = _SweepPolicy(point)
-            result = scheduler.run(run.profiles[stream].tasks, scheme, policy)
+            result = scheduler.run(
+                run.profiles[stream.value].tasks, scheme, policy
+            )
             buckets = result.buckets
             entry.points.append(Figure4Point(
                 freq_ghz=point.freq_ghz,
@@ -323,20 +367,22 @@ class HeadlineNumbers:
     auto_time_penalty_0ns: float
 
 
-def headline_numbers(runs: dict[str, WorkloadRun],
+def headline_numbers(runs: Mapping[str, WorkloadRun],
                      config: Optional[MachineConfig] = None) -> HeadlineNumbers:
     config = config or MachineConfig()
     zero_latency = replace(config, dvfs_transition_ns=0.0)
 
-    def geomean_ratios(cfg: MachineConfig, stream: str):
+    def geomean_ratios(cfg: MachineConfig, stream: Scheme):
         times, edps = [], []
         for run in runs.values():
             scheduler = DAEScheduler(cfg)
             base = scheduler.run(
-                run.profiles["cae"].tasks, "cae", FixedPolicy(cfg.fmax)
+                run.profiles[Scheme.CAE.value].tasks, Scheme.CAE,
+                FixedPolicy(cfg.fmax),
             )
             result = scheduler.run(
-                run.profiles[stream].tasks, "dae", OptimalEDPPolicy()
+                run.profiles[stream.value].tasks, Scheme.DAE,
+                FrequencyPolicy.from_name("optimal", cfg),
             )
             relative = relative_metrics(result, base)
             times.append(relative["time"])
@@ -344,10 +390,10 @@ def headline_numbers(runs: dict[str, WorkloadRun],
         gm = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
         return gm(times), gm(edps)
 
-    auto_t_500, auto_d_500 = geomean_ratios(config, "dae")
-    man_t_500, man_d_500 = geomean_ratios(config, "manual")
-    auto_t_0, auto_d_0 = geomean_ratios(zero_latency, "dae")
-    man_t_0, man_d_0 = geomean_ratios(zero_latency, "manual")
+    auto_t_500, auto_d_500 = geomean_ratios(config, Scheme.DAE)
+    man_t_500, man_d_500 = geomean_ratios(config, Scheme.MANUAL)
+    auto_t_0, auto_d_0 = geomean_ratios(zero_latency, Scheme.DAE)
+    man_t_0, man_d_0 = geomean_ratios(zero_latency, Scheme.MANUAL)
     return HeadlineNumbers(
         auto_edp_gain_500ns=1.0 - auto_d_500,
         manual_edp_gain_500ns=1.0 - man_d_500,

@@ -13,9 +13,11 @@ the blocks, while per-class hulls cover exactly the blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from ..analysis.memory_access import AccessAnalysis
+from ..deprecation import warn_once
 from ..frontend import compile_source
 from ..polyhedral.chernikova import convex_union
 from ..polyhedral.polyhedron import Polyhedron, union_enumerate
@@ -65,6 +67,34 @@ task lu_two_blocks(A: f64*, N: i64, block: i64,
   }
 }
 """
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A demo kernel, fully specified: source text, entry task, and the
+    parameter instantiation to analyze it under.
+
+    The typed replacement for the old ``(source, task_name, params)``
+    argument triples of :func:`analyze_kernel` /
+    :func:`single_hull_cells`.
+    """
+
+    source: str
+    task: str
+    params: dict = field(default_factory=dict)
+
+
+#: Listing 1's two kernels at their Figure 1 instantiations.
+FIGURE1_SPECS = (
+    KernelSpec(LISTING1_FULL, "lu_full", {"N": 12}),
+    KernelSpec(LISTING1_BLOCK, "lu_block", {"N": 24, "block": 8}),
+)
+
+#: The two-block kernel at its Figure 2 instantiation.
+FIGURE2_SPEC = KernelSpec(
+    LISTING3_BLOCKS, "lu_two_blocks",
+    {"N": 32, "block": 6, "Ax": 0, "Ay": 16, "Dx": 16, "Dy": 0},
+)
 
 
 @dataclass
@@ -118,7 +148,25 @@ def _range_cells(polys: list[Polyhedron], strides, params: dict) -> int:
     return len(covered)
 
 
-def analyze_kernel(source: str, task_name: str, params: dict) -> AnalysisDemo:
+def _coerce_spec(spec: Union[KernelSpec, str], task_name: Optional[str],
+                 params: Optional[dict], context: str) -> KernelSpec:
+    if isinstance(spec, KernelSpec):
+        return spec
+    warn_once(
+        "kernelspec-str:%s" % context,
+        "%s: passing (source, task_name, params) is deprecated; "
+        "pass a KernelSpec" % context,
+    )
+    return KernelSpec(source=spec, task=task_name, params=params or {})
+
+
+def analyze_kernel(spec: Union[KernelSpec, str],
+                   task_name: Optional[str] = None,
+                   params: Optional[dict] = None) -> AnalysisDemo:
+    """All three analyses on one kernel (:class:`KernelSpec`; the old
+    ``(source, task_name, params)`` form remains as a shim)."""
+    spec = _coerce_spec(spec, task_name, params, "analyze_kernel")
+    source, task_name, params = spec.source, spec.task, spec.params
     by_class, strides_by_class = _access_polyhedra(source, task_name)
     exact = 0
     hull = 0
@@ -135,15 +183,18 @@ def analyze_kernel(source: str, task_name: str, params: dict) -> AnalysisDemo:
     )
 
 
-def single_hull_cells(source: str, task_name: str, params: dict) -> int:
+def single_hull_cells(spec: Union[KernelSpec, str],
+                      task_name: Optional[str] = None,
+                      params: Optional[dict] = None) -> int:
     """Figure 2's strawman: one hull over ALL accesses (classes merged).
 
     The classes depend on disjoint translation parameters, so the
     combined hull is only bounded once the parameters are instantiated.
     """
-    by_class, _ = _access_polyhedra(source, task_name)
+    spec = _coerce_spec(spec, task_name, params, "single_hull_cells")
+    by_class, _ = _access_polyhedra(spec.source, spec.task)
     all_polys = [
-        p.with_param_values(params)
+        p.with_param_values(spec.params)
         for polys in by_class.values() for p in polys
     ]
     hull = convex_union(all_polys)
@@ -152,19 +203,15 @@ def single_hull_cells(source: str, task_name: str, params: dict) -> int:
 
 def figure1_demo() -> list[AnalysisDemo]:
     """Listing 1's two kernels under all three analyses."""
-    return [
-        analyze_kernel(LISTING1_FULL, "lu_full", {"N": 12}),
-        analyze_kernel(LISTING1_BLOCK, "lu_block", {"N": 24, "block": 8}),
-    ]
+    return [analyze_kernel(spec) for spec in FIGURE1_SPECS]
 
 
 def figure2_demo() -> dict:
     """Per-class hulls vs one global hull on the two-block kernel."""
-    params = {"N": 32, "block": 6, "Ax": 0, "Ay": 16, "Dx": 16, "Dy": 0}
-    demo = analyze_kernel(LISTING3_BLOCKS, "lu_two_blocks", params)
-    merged = single_hull_cells(LISTING3_BLOCKS, "lu_two_blocks", params)
+    demo = analyze_kernel(FIGURE2_SPEC)
+    merged = single_hull_cells(FIGURE2_SPEC)
     return {
-        "params": params,
+        "params": dict(FIGURE2_SPEC.params),
         "classes": demo.classes,
         "exact_cells": demo.exact_cells,
         "per_class_hull_cells": demo.hull_cells,

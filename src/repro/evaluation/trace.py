@@ -19,17 +19,20 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import obs
+from ..power.frequency import FrequencyPolicy
 from ..runtime.scheduler import DAEScheduler, ScheduleResult
+from ..runtime.task import Scheme
 from ..sim.config import MachineConfig
+from ..transform.access_phase import AccessPhaseOptions
 from ..workloads import workload_by_name
-from .experiments import WorkloadRun, _policy, run_workload
+from .experiments import WorkloadRun, run_workload
 
-#: (label, profile stream, run scheme, policy) — the headline pairing
-#: plus its baseline, traced by default.
+#: (label, profile stream, run scheme, policy name) — the headline
+#: pairing plus its baseline, traced by default.
 TRACE_CONFIGS = (
-    ("CAE (Max f.)", "cae", "cae", "fmax"),
-    ("Compiler DAE (Optimal f.)", "dae", "dae", "optimal"),
-    ("Manual DAE (Optimal f.)", "manual", "dae", "optimal"),
+    ("CAE (Max f.)", Scheme.CAE, Scheme.CAE, "fmax"),
+    ("Compiler DAE (Optimal f.)", Scheme.DAE, Scheme.DAE, "optimal"),
+    ("Manual DAE (Optimal f.)", Scheme.MANUAL, Scheme.DAE, "optimal"),
 )
 
 
@@ -48,20 +51,30 @@ class TraceArtifacts:
 
 def trace_workload(name: str, scale: int = 1,
                    config: Optional[MachineConfig] = None,
-                   collector: Optional[obs.Collector] = None) -> TraceArtifacts:
-    """Run one workload end to end with the collector enabled."""
+                   collector: Optional[obs.Collector] = None,
+                   options: Optional[AccessPhaseOptions] = None,
+                   ) -> TraceArtifacts:
+    """Run one workload end to end with the collector enabled.
+
+    Tracing never consults the profile cache: the explain report is
+    built from the compile/profile events of a fresh run, which a cache
+    hit would skip.
+    """
     config = config or MachineConfig()
     if collector is None:   # NB: an empty Collector is falsy (len 0)
         collector = obs.Collector(enabled=True)
     artifacts = TraceArtifacts(app=name, run=None, collector=collector)
 
     with obs.collecting(collector):
-        artifacts.run = run_workload(workload_by_name(name), scale, config)
+        artifacts.run = run_workload(
+            workload_by_name(name), scale, config, options=options,
+        )
         for label, stream, scheme, policy in TRACE_CONFIGS:
             scheduler = DAEScheduler(config)
             result: ScheduleResult = scheduler.run(
-                artifacts.run.profiles[stream].tasks, scheme,
-                _policy(policy, config), record_timeline=True,
+                artifacts.run.profiles[stream.value].tasks, scheme,
+                FrequencyPolicy.from_name(policy, config),
+                record_timeline=True,
             )
             artifacts.schedules[label] = result
     return artifacts

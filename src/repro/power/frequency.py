@@ -16,7 +16,7 @@ from typing import Callable, Optional
 
 from ..sim.config import MachineConfig, OperatingPoint
 from ..sim.timing import PhaseProfile
-from .model import phase_energy, total_power
+from .model import phase_energy
 
 
 def phase_edp_at(profile: PhaseProfile, point: OperatingPoint,
@@ -42,6 +42,10 @@ def optimal_edp_point(profile: PhaseProfile,
     return best
 
 
+#: name -> factory(config) for :meth:`FrequencyPolicy.from_name`.
+_POLICY_REGISTRY: dict = {}
+
+
 class FrequencyPolicy:
     """Chooses operating points for the access and execute phases."""
 
@@ -54,6 +58,38 @@ class FrequencyPolicy:
     def execute_point(self, profile: PhaseProfile,
                       config: MachineConfig) -> OperatingPoint:
         raise NotImplementedError
+
+    # -- registry --------------------------------------------------------------
+
+    @staticmethod
+    def register(name: str,
+                 factory: Callable[[MachineConfig], "FrequencyPolicy"],
+                 ) -> None:
+        """Register ``factory`` under ``name`` for :meth:`from_name`.
+
+        Re-registering a name overwrites it (useful for experiments
+        that want to ablate a policy without touching call sites).
+        """
+        _POLICY_REGISTRY[name.lower()] = factory
+
+    @classmethod
+    def from_name(cls, name: str,
+                  config: Optional[MachineConfig] = None) -> "FrequencyPolicy":
+        """Instantiate a registered policy by name.
+
+        Built-in names: ``minmax``, ``optimal``, ``fmax``, ``fmin``.
+        """
+        factory = _POLICY_REGISTRY.get(name.lower())
+        if factory is None:
+            raise ValueError(
+                "unknown policy %r; registered: %s"
+                % (name, ", ".join(sorted(_POLICY_REGISTRY)))
+            )
+        return factory(config or MachineConfig())
+
+    @staticmethod
+    def registered_names() -> tuple:
+        return tuple(sorted(_POLICY_REGISTRY))
 
 
 class MinMaxPolicy(FrequencyPolicy):
@@ -93,3 +129,9 @@ class FixedPolicy(FrequencyPolicy):
 
     def execute_point(self, profile, config):
         return self.point
+
+
+FrequencyPolicy.register("minmax", lambda config: MinMaxPolicy())
+FrequencyPolicy.register("optimal", lambda config: OptimalEDPPolicy())
+FrequencyPolicy.register("fmax", lambda config: FixedPolicy(config.fmax))
+FrequencyPolicy.register("fmin", lambda config: FixedPolicy(config.fmin))

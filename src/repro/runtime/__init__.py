@@ -2,10 +2,10 @@
 
 from .profiler import ProfileError, StreamProfile, TaskStreamProfiler
 from .scheduler import DAEScheduler, ScheduleBuckets, ScheduleResult
-from .task import TaskInstance, TaskKind, TaskProfile
+from .task import Scheme, TaskInstance, TaskKind, TaskProfile, TaskRef
 
 __all__ = [
     "ProfileError", "StreamProfile", "TaskStreamProfiler",
     "DAEScheduler", "ScheduleBuckets", "ScheduleResult",
-    "TaskInstance", "TaskKind", "TaskProfile",
+    "Scheme", "TaskInstance", "TaskKind", "TaskProfile", "TaskRef",
 ]

@@ -18,15 +18,15 @@ Execution schemes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from ..interp.interpreter import ExecutionTrace, Interpreter
+from ..interp.interpreter import Interpreter
 from ..interp.memory import SimMemory
 from ..obs.events import get_collector
 from ..sim.cache import AccessCounts, MachineCaches
 from ..sim.config import MachineConfig
 from ..sim.timing import PhaseProfile
-from .task import TaskInstance, TaskProfile
+from .task import Scheme, TaskInstance, TaskProfile
 
 
 class ProfileError(Exception):
@@ -66,17 +66,22 @@ class TaskStreamProfiler:
         self.memory = memory
         self.config = config or MachineConfig()
 
-    def profile(self, tasks: list[TaskInstance], scheme: str,
+    def profile(self, tasks: list[TaskInstance],
+                scheme: Union[Scheme, str],
                 strict: bool = False) -> StreamProfile:
-        """Profile ``tasks`` under ``scheme``.
+        """Profile ``tasks`` under ``scheme`` (a :class:`Scheme`; plain
+        strings remain accepted as a deprecation shim).
 
-        Under 'dae'/'manual' a task whose access version is missing
+        Under DAE/MANUAL a task whose access version is missing
         silently profiles as coupled (the runtime's fallback) and emits
         an obs warning event; with ``strict=True`` it raises
         :class:`ProfileError` instead, naming the task and scheme.
         """
-        if scheme not in ("cae", "dae", "manual"):
-            raise ProfileError("unknown scheme %r" % scheme)
+        try:
+            scheme = Scheme.coerce(scheme, context="TaskStreamProfiler.profile")
+        except ValueError as exc:
+            raise ProfileError(str(exc)) from None
+        scheme = scheme.value  # plain str below: persisted in StreamProfile
         collector = get_collector()
         caches = MachineCaches(self.config)
         result = StreamProfile(scheme=scheme)

@@ -24,14 +24,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..obs.events import get_collector
 from ..obs.timeline import Timeline
 from ..power.frequency import FrequencyPolicy
 from ..power.model import phase_energy, static_power, transition_energy
 from ..sim.config import MachineConfig, OperatingPoint
-from .task import TaskProfile
+from .task import Scheme, TaskProfile
 
 
 @dataclass
@@ -119,17 +119,20 @@ class DAEScheduler:
     def __init__(self, config: Optional[MachineConfig] = None):
         self.config = config or MachineConfig()
 
-    def run(self, profiles: list[TaskProfile], scheme: str,
+    def run(self, profiles: list[TaskProfile],
+            scheme: Union[Scheme, str],
             policy: FrequencyPolicy,
             record_timeline: Optional[bool] = None) -> ScheduleResult:
-        """Schedule ``profiles`` under ``scheme`` ('cae' or 'dae').
+        """Schedule ``profiles`` under ``scheme`` (:class:`Scheme`;
+        plain strings remain accepted as a deprecation shim).
 
-        For 'dae', tasks without an access profile fall back to coupled
+        For DAE, tasks without an access profile fall back to coupled
         execution (the compiler generated no access version).
 
         ``record_timeline`` defaults to whether the observability
         collector is enabled.
         """
+        scheme = Scheme.coerce(scheme, context="DAEScheduler.run").value
         config = self.config
         collector = get_collector()
         if record_timeline is None:

@@ -5,15 +5,65 @@ runtime each task has up to two versions: the access version (prefetch)
 and the execute version (the original computation).  ``TaskInstance``
 binds a task to concrete argument values (array base addresses, sizes,
 tile offsets).
+
+:class:`Scheme` names the three execution schemes every layer above
+(profiler, scheduler, engine, evaluation) agrees on:
+
+* ``CAE``    — each task runs only its execute version (coupled);
+* ``DAE``    — compiler-generated access version first, execute
+  immediately after on the same core (warm caches);
+* ``MANUAL`` — like ``DAE`` but with the hand-written access version.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
 
+from ..deprecation import warn_once
 from ..ir import Function
 from ..sim.timing import PhaseProfile
+
+
+class Scheme(str, enum.Enum):
+    """Execution scheme: coupled, compiler DAE, or manual DAE.
+
+    A ``str`` subclass, so members compare and hash equal to their
+    lowercase names (``Scheme.DAE == "dae"``) and can index dicts keyed
+    by legacy strings.  Code that persists or renders a scheme should
+    use ``.value`` to get the plain string.
+    """
+
+    CAE = "cae"
+    DAE = "dae"
+    MANUAL = "manual"
+
+    @classmethod
+    def coerce(cls, value: Union["Scheme", str],
+               context: str = "Scheme") -> "Scheme":
+        """Return ``value`` as a :class:`Scheme`.
+
+        Strings remain accepted as a deprecation shim (warning once per
+        calling context); anything unknown raises :class:`ValueError`.
+        """
+        if isinstance(value, Scheme):
+            return value
+        if isinstance(value, str):
+            try:
+                scheme = cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    "unknown scheme %r; expected one of %s"
+                    % (value, ", ".join(repr(s.value) for s in cls))
+                ) from None
+            warn_once(
+                "scheme-str:%s" % context,
+                "%s: passing scheme as a string is deprecated; "
+                "use repro.runtime.task.Scheme.%s" % (context, scheme.name),
+            )
+            return scheme
+        raise ValueError("unknown scheme %r" % (value,))
 
 
 @dataclass
@@ -39,11 +89,28 @@ class TaskInstance:
         return self.kind.name
 
 
+@dataclass(frozen=True)
+class TaskRef:
+    """Name-only stand-in for a :class:`TaskInstance`.
+
+    Profiles that round-trip through the evaluation engine's process
+    pool or on-disk cache drop the heavyweight IR-bearing instance and
+    keep only what the scheduler consumes: the task name.
+    """
+
+    name: str
+
+
 @dataclass
 class TaskProfile:
-    """Measured phase profiles of one dynamic task."""
+    """Measured phase profiles of one dynamic task.
 
-    instance: TaskInstance
+    ``instance`` is either the full :class:`TaskInstance` (fresh
+    profiling runs) or a :class:`TaskRef` (engine cache / pool
+    round-trips); both expose ``.name``.
+    """
+
+    instance: Union[TaskInstance, TaskRef]
     execute: PhaseProfile
     access: Optional[PhaseProfile] = None
 

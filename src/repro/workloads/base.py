@@ -16,7 +16,7 @@ Compilation runs the real pipeline: parse → lower → optimize →
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..frontend import compile_source
@@ -103,8 +103,26 @@ class Workload:
 
     def instantiate(self, scale: int = 1,
                     compiled: Optional[CompiledWorkload] = None,
-                    options: Optional[AccessPhaseOptions] = None):
-        """(memory, task stream, compiled) ready for profiling."""
+                    options: Optional[AccessPhaseOptions] = None,
+                    ) -> tuple[SimMemory, list[TaskInstance],
+                               CompiledWorkload]:
+        """Produce everything profiling needs for one run.
+
+        This is the single entry point for turning a workload into
+        runnable state — the engine, the evaluation harness, and the
+        tests all come through here rather than pairing :meth:`compile`
+        and :meth:`build` by hand.  Returns ``(memory, instances,
+        compiled)``:
+
+        * ``memory`` — a fresh :class:`~repro.interp.memory.SimMemory`
+          holding the workload's initialized arrays;
+        * ``instances`` — the dynamic task stream at ``scale``;
+        * ``compiled`` — the :class:`CompiledWorkload` used (freshly
+          compiled with ``options``, unless one was passed in to be
+          reused across scales).
+
+        ``options`` is only consulted when ``compiled`` is not given.
+        """
         compiled = compiled or self.compile(options)
         memory = SimMemory()
         instances = self.build(memory, scale, compiled.kinds)

@@ -1,0 +1,112 @@
+"""The typed Scheme enum, the policy registry, and their string shims."""
+
+import warnings
+
+import pytest
+
+from repro import deprecation
+from repro.power.frequency import (
+    FixedPolicy,
+    FrequencyPolicy,
+    MinMaxPolicy,
+    OptimalEDPPolicy,
+)
+from repro.runtime.task import Scheme
+from repro.sim.config import MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_warnings():
+    deprecation.reset()
+    yield
+    deprecation.reset()
+
+
+class TestScheme:
+    def test_members_compare_equal_to_strings(self):
+        assert Scheme.CAE == "cae"
+        assert Scheme.DAE == "dae"
+        assert Scheme.MANUAL == "manual"
+        assert Scheme.DAE.value == "dae"
+
+    def test_coerce_passthrough_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert Scheme.coerce(Scheme.DAE) is Scheme.DAE
+
+    def test_coerce_string_warns_once_per_context(self):
+        with pytest.deprecated_call():
+            assert Scheme.coerce("dae", context="ctx-a") is Scheme.DAE
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call: no warning
+            assert Scheme.coerce("CAE", context="ctx-a") is Scheme.CAE
+        with pytest.deprecated_call():  # new context warns again
+            Scheme.coerce("dae", context="ctx-b")
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                Scheme.coerce("warp")
+
+
+class TestPolicyRegistry:
+    def test_builtin_names(self):
+        names = FrequencyPolicy.registered_names()
+        for name in ("minmax", "optimal", "fmax", "fmin"):
+            assert name in names
+
+    def test_from_name_builtins(self):
+        config = MachineConfig()
+        assert isinstance(
+            FrequencyPolicy.from_name("minmax", config), MinMaxPolicy
+        )
+        assert isinstance(
+            FrequencyPolicy.from_name("optimal", config), OptimalEDPPolicy
+        )
+        fmax = FrequencyPolicy.from_name("fmax", config)
+        assert isinstance(fmax, FixedPolicy)
+        assert fmax.point == config.fmax
+        fmin = FrequencyPolicy.from_name("FMIN", config)
+        assert fmin.point == config.fmin
+
+    def test_from_name_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            FrequencyPolicy.from_name("turbo")
+
+    def test_register_custom_policy(self):
+        class NullPolicy(FrequencyPolicy):
+            def __init__(self, config):
+                self.config = config
+
+            def access_point(self, profile, config):
+                return config.fmin
+
+            def execute_point(self, profile, config):
+                return config.fmin
+
+        FrequencyPolicy.register("nullp", NullPolicy)
+        try:
+            policy = FrequencyPolicy.from_name("nullp", MachineConfig())
+            assert isinstance(policy, NullPolicy)
+        finally:
+            from repro.power import frequency
+            frequency._POLICY_REGISTRY.pop("nullp", None)
+
+
+class TestEvaluationShims:
+    def test_schedule_accepts_strings_with_deprecation(self):
+        from repro.evaluation.experiments import run_workload, schedule
+        from repro.workloads import workload_by_name
+
+        run = run_workload(workload_by_name("cigar"))
+        config = MachineConfig()
+        with pytest.deprecated_call():
+            legacy = schedule(run, "dae", "optimal", config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            typed = schedule(
+                run, Scheme.DAE,
+                FrequencyPolicy.from_name("optimal", config), config,
+            )
+        assert legacy.summary() == typed.summary()

@@ -1,0 +1,82 @@
+"""ExperimentSpec validation and the EngineResult mapping facade."""
+
+import pytest
+
+from repro.engine import EngineResult, ExperimentSpec, run_experiment
+from repro.runtime.task import Scheme
+from repro.workloads import ALL_WORKLOADS
+
+from .tinywork import TinyWorkload
+
+
+class TestExperimentSpec:
+    def test_defaults(self):
+        spec = ExperimentSpec()
+        assert spec.scale == 1
+        assert spec.jobs == 1
+        assert spec.cache is True
+        assert spec.schemes == (Scheme.CAE, Scheme.DAE, Scheme.MANUAL)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(scale=0)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(jobs=0)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(timeout_s=0)
+
+    def test_scheme_strings_coerced(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            spec = ExperimentSpec(schemes=("cae", "dae"))
+        assert spec.schemes == (Scheme.CAE, Scheme.DAE)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(schemes=("warp",))
+
+    def test_empty_workloads_means_all(self):
+        resolved = ExperimentSpec().resolve_workloads()
+        assert [w.name for w in resolved] == [w.name for w in ALL_WORKLOADS]
+
+    def test_workload_specifier_forms(self):
+        spec = ExperimentSpec(workloads=(
+            TinyWorkload(), "cholesky", TinyWorkload,
+        ))
+        resolved = spec.resolve_workloads()
+        assert [w.name for w in resolved] == ["tiny", "cholesky", "tiny"]
+
+    def test_bad_workload_specifier_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(workloads=(42,)).resolve_workloads()
+
+
+class TestEngineResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(ExperimentSpec(
+            workloads=(TinyWorkload(),), cache=False,
+        ))
+
+    def test_is_a_mapping(self, result):
+        assert isinstance(result, EngineResult)
+        assert len(result) == 1
+        assert list(result) == ["tiny"]
+        assert "tiny" in result
+        assert result["tiny"].workload.name == "tiny"
+        assert dict(result) == {"tiny": result["tiny"]}
+
+    def test_legacy_dict_idioms_work(self, result):
+        assert [name for name, run in result.items()] == ["tiny"]
+        assert result.get("missing") is None
+
+    def test_stats_attached(self, result):
+        assert result.stats.jobs_completed == 1
+        assert result.stats.elapsed_s > 0
+        as_dict = result.stats.as_dict()
+        assert as_dict["jobs_completed"] == 1

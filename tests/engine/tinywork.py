@@ -1,0 +1,58 @@
+"""A minimal, fast workload for engine tests.
+
+Module-level (not defined inside a test function) so its instances are
+picklable and can travel through the process pool.
+"""
+
+from __future__ import annotations
+
+from repro.interp.memory import SimMemory
+from repro.runtime.task import TaskInstance, TaskKind
+from repro.workloads.base import PaperRow, Workload, fill_floats
+
+SOURCE = """
+task tiny_scale(A: f64*, n: i64) {
+  var i: i64;
+  for (i = 0; i < n; i = i + 1) {
+    A[i] = A[i] * 2.0;
+  }
+}
+
+task tiny_scale_manual_access(A: f64*, n: i64) {
+  var i: i64;
+  for (i = 0; i < n; i = i + 1) {
+    prefetch(A[i]);
+  }
+}
+"""
+
+ALT_SOURCE = SOURCE.replace("* 2.0", "* 3.0")
+
+
+class TinyWorkload(Workload):
+    """One affine task over a small array; profiles in milliseconds."""
+
+    name = "tiny"
+    paper = PaperRow(1, 1, 1, 0.0, 0.0)
+
+    elems = 16
+    chunks = 2
+
+    def source(self) -> str:
+        return SOURCE
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        n = self.elems * scale
+        a = memory.alloc_array(8, n, "A", init=fill_floats(n))
+        return [
+            TaskInstance(kinds["tiny_scale"], [a, n])
+            for _ in range(self.chunks)
+        ]
+
+
+class AltTinyWorkload(TinyWorkload):
+    """Same name, different source — for cache-invalidation tests."""
+
+    def source(self) -> str:
+        return ALT_SOURCE

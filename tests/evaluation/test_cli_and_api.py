@@ -46,6 +46,33 @@ class TestCLI:
         for line in open(events_path):
             assert json.loads(line)["name"]
 
+    def test_shared_flags_accepted_by_every_experiment(self):
+        # the shared parent parser must make these parse (not run) everywhere
+        from repro.evaluation.__main__ import _build_parser
+
+        parser = _build_parser()
+        for experiment in ("table1", "figure1", "figure2", "figure3",
+                           "figure4", "headline", "all"):
+            args = parser.parse_args(
+                [experiment, "--scale", "2", "--jobs", "3", "--no-cache",
+                 "--cache-dir", "/tmp/x"]
+            )
+            assert (args.scale, args.jobs, args.no_cache) == (2, 3, True)
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:       0" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_requires_verb(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+        with pytest.raises(SystemExit):
+            main(["cache", "defrag"])
+
 
 class TestPublicAPI:
     def test_version(self):

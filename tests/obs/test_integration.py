@@ -16,6 +16,7 @@ from repro.evaluation import relative_metrics
 from repro.power.frequency import OptimalEDPPolicy
 from repro.runtime.profiler import TaskStreamProfiler
 from repro.runtime.scheduler import DAEScheduler
+from repro.runtime.task import Scheme
 from repro.sim import MachineConfig
 from repro.workloads import workload_by_name
 
@@ -29,9 +30,9 @@ def traced():
         workload = workload_by_name("cholesky")
         compiled = workload.compile()
         memory, tasks, _ = workload.instantiate(scale=1, compiled=compiled)
-        stream = TaskStreamProfiler(memory, config).profile(tasks, "dae")
+        stream = TaskStreamProfiler(memory, config).profile(tasks, Scheme.DAE)
         result = DAEScheduler(config).run(
-            stream.tasks, "dae", OptimalEDPPolicy(), record_timeline=True
+            stream.tasks, Scheme.DAE, OptimalEDPPolicy(), record_timeline=True
         )
     return collector, result
 
@@ -100,7 +101,7 @@ class TestTimeline:
         # plain run records no timeline and emits no events.
         assert not obs.enabled()
         fresh = DAEScheduler(MachineConfig()).run(
-            [], "dae", OptimalEDPPolicy()
+            [], Scheme.DAE, OptimalEDPPolicy()
         )
         assert fresh.timeline is None
 
