@@ -15,6 +15,8 @@ scaling"* (CGO 2014):
 * :mod:`repro.power` — the paper's power/EDP model and DVFS policies;
 * :mod:`repro.runtime` — the DAE task runtime with work stealing;
 * :mod:`repro.workloads` — the seven benchmark applications;
+* :mod:`repro.tuning` — DVFS auto-tuning: objectives, search
+  strategies, Pareto fronts, and the schedule-level ``"tuned"`` policy;
 * :mod:`repro.evaluation` — Table 1, Figures 1-4 and the headline
   numbers of Section 6.
 
@@ -49,6 +51,7 @@ from .engine import (  # noqa: E402
     run_experiment,
 )
 from .runtime.task import Scheme  # noqa: E402
+from .tuning import TuningResult, tune_workload  # noqa: E402
 
 __all__ = [
     "compile_source", "parse",
@@ -58,5 +61,6 @@ __all__ = [
     "AccessPhaseOptions", "AccessPhaseResult",
     "generate_access_phase", "generate_module_access_phases",
     "EngineResult", "ExperimentSpec", "run_experiment", "Scheme",
+    "TuningResult", "tune_workload",
     "__version__",
 ]

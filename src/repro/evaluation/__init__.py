@@ -44,6 +44,11 @@ from .trace import (
     export_trace,
     trace_workload,
 )
+from .tuning import (
+    TuningArtifacts,
+    export_tuning,
+    render_tuning_report,
+)
 
 __all__ = [
     "FIGURE3_CONFIGS", "FIGURE4_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row",
@@ -56,4 +61,5 @@ __all__ = [
     "render_figure3", "render_figure4", "render_headline",
     "render_schedule_summary", "render_table1",
     "TRACE_CONFIGS", "TraceArtifacts", "export_trace", "trace_workload",
+    "TuningArtifacts", "export_tuning", "render_tuning_report",
 ]

@@ -3,8 +3,9 @@
 Experiments: ``table1``, ``figure1``, ``figure2``, ``figure3``,
 ``figure4``, ``headline``, ``all``, ``trace <app>`` (fully-observed
 single-workload run writing a Chrome trace, a JSONL event log, and an
-explain report), and ``cache {stats,clear}`` (inspect / empty the
-persistent profile cache).
+explain report), ``tune <app>`` (auto-tune the workload's operating
+points and write a markdown + JSON tuning report), and
+``cache {stats,clear}`` (inspect / empty the persistent profile cache).
 
 All experiment subcommands share one flag set (a common argparse parent
 parser):
@@ -17,7 +18,8 @@ parser):
 * ``--trace PATH`` / ``--events PATH`` — dump the run's structured-event
   log as a Chrome trace / JSONL.
 
-``trace`` additionally takes ``--out PREFIX`` for its artifact files.
+``trace`` additionally takes ``--out PREFIX`` for its artifact files;
+``tune`` adds ``--out PREFIX``, ``--objective`` and ``--strategy``.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ import sys
 from .. import obs
 from ..engine import ExperimentSpec, ProfileCache, run_experiment
 from ..sim.config import MachineConfig
+from ..tuning import STRATEGIES, tune_workload
 from ..workloads import ALL_WORKLOADS, workload_by_name
 from . import (
     FIGURE4_WORKLOADS,
@@ -46,6 +49,7 @@ from . import (
     table1_rows,
     trace_workload,
 )
+from .tuning import export_tuning, render_tuning_report
 
 #: Experiments needing the full (all-workload) profiling matrix.
 _FULL_RUN_EXPERIMENTS = {"table1", "figure3", "headline", "all"}
@@ -103,6 +107,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PREFIX", default=None,
         help="artifact path prefix (default: the app name)",
     )
+    tune = sub.add_parser(
+        "tune", parents=[common],
+        help="auto-tune a workload's operating points",
+    )
+    tune.add_argument(
+        "app", nargs="?", default=None,
+        help="workload name (e.g. 'cholesky')",
+    )
+    tune.add_argument(
+        "--objective", metavar="SPEC", default="edp",
+        help="tuning objective: edp, ed2p, energy, delay, "
+             "energy-under-deadline@<s>, delay-under-power-cap@<w> "
+             "(default edp)",
+    )
+    tune.add_argument(
+        "--strategy", choices=("all",) + STRATEGIES, default="all",
+        help="search strategy (default: all)",
+    )
+    tune.add_argument(
+        "--out", metavar="PREFIX", default=None,
+        help="artifact path prefix (default: the app name)",
+    )
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent profile cache",
     )
@@ -123,6 +149,8 @@ def main(argv=None) -> int:
         return _run_cache(args)
     if args.experiment == "trace":
         return _run_trace(args, parser)
+    if args.experiment == "tune":
+        return _run_tune(args, parser)
 
     config = MachineConfig()
     sections = []
@@ -219,6 +247,47 @@ def _run_trace(args, parser) -> int:
     print("wrote %s" % artifacts.trace_path, file=sys.stderr)
     print("wrote %s" % artifacts.events_path, file=sys.stderr)
     print("wrote %s" % artifacts.report_path, file=sys.stderr)
+    return 0
+
+
+def _run_tune(args, parser) -> int:
+    if args.app is None:
+        parser.error(
+            "tune needs a workload name, one of: %s"
+            % ", ".join(sorted(w.name for w in ALL_WORKLOADS))
+        )
+    try:
+        workload_by_name(args.app)
+    except KeyError:
+        parser.error(
+            "unknown workload %r; choose from: %s"
+            % (args.app, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+        )
+    print("tuning %s (objective %s, strategy %s, scale %d, jobs %d)..."
+          % (args.app, args.objective, args.strategy, args.scale, args.jobs),
+          file=sys.stderr)
+    capture = obs.Collector(enabled=True) if (
+        args.trace or args.events
+    ) else None
+    with obs.collecting(capture) if capture is not None else _NullContext():
+        result = tune_workload(
+            args.app, objective=args.objective, strategy=args.strategy,
+            scale=args.scale, jobs=args.jobs, cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    stats = result.stats
+    print(
+        "tuning: %d candidates (%d scheduled: %d pooled, %d serial; "
+        "%d cached)"
+        % (stats.requests, stats.schedule_evals, stats.pool_evals,
+           stats.serial_evals, stats.cache_hits),
+        file=sys.stderr,
+    )
+    artifacts = export_tuning(result, out_prefix=args.out)
+    _export_event_log(capture, args)
+    print(render_tuning_report(result))
+    print("wrote %s" % artifacts.report_path, file=sys.stderr)
+    print("wrote %s" % artifacts.json_path, file=sys.stderr)
     return 0
 
 

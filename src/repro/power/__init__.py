@@ -5,6 +5,7 @@ from .frequency import (
     FrequencyPolicy,
     MinMaxPolicy,
     OptimalEDPPolicy,
+    fixed_policy_at,
     optimal_edp_point,
     phase_edp_at,
 )
@@ -21,7 +22,7 @@ from .model import (
 
 __all__ = [
     "FixedPolicy", "FrequencyPolicy", "MinMaxPolicy", "OptimalEDPPolicy",
-    "optimal_edp_point", "phase_edp_at",
+    "fixed_policy_at", "optimal_edp_point", "phase_edp_at",
     "EnergyBreakdown", "dynamic_power", "edp", "effective_capacitance",
     "phase_energy", "static_power", "total_power", "transition_energy",
 ]

@@ -30,10 +30,16 @@ def phase_edp_at(profile: PhaseProfile, point: OperatingPoint,
 
 def optimal_edp_point(profile: PhaseProfile,
                       config: MachineConfig) -> OperatingPoint:
-    """Exhaustive search for the phase-local EDP-optimal frequency."""
+    """Exhaustive search for the phase-local EDP-optimal frequency.
+
+    Ties are broken toward the *lower-frequency* point (the cheaper
+    voltage), and the scan runs over the points sorted by frequency, so
+    the choice is deterministic regardless of how
+    ``config.operating_points`` happens to be ordered.
+    """
     best: Optional[OperatingPoint] = None
     best_edp = float("inf")
-    for point in config.operating_points:
+    for point in sorted(config.operating_points, key=lambda p: p.freq_ghz):
         value = phase_edp_at(profile, point, config)
         if value < best_edp:
             best_edp = value
@@ -43,7 +49,11 @@ def optimal_edp_point(profile: PhaseProfile,
 
 
 #: name -> factory(config) for :meth:`FrequencyPolicy.from_name`.
-_POLICY_REGISTRY: dict = {}
+_POLICY_REGISTRY: dict[str, Callable[[MachineConfig], "FrequencyPolicy"]] = {}
+
+#: base name -> factory(config, arg) for parameterized names such as
+#: ``fixed@2.4`` (everything after the ``@`` is passed as ``arg``).
+_PARAM_REGISTRY: dict[str, Callable[[MachineConfig, str], "FrequencyPolicy"]] = {}
 
 
 class FrequencyPolicy:
@@ -72,20 +82,47 @@ class FrequencyPolicy:
         """
         _POLICY_REGISTRY[name.lower()] = factory
 
+    @staticmethod
+    def register_parameterized(
+        name: str,
+        factory: Callable[[MachineConfig, str], "FrequencyPolicy"],
+    ) -> None:
+        """Register a factory for ``<name>@<arg>`` spellings.
+
+        :meth:`from_name` splits on the first ``@`` and passes the
+        remainder as the factory's string argument (e.g. ``fixed@2.4``
+        calls the ``fixed`` factory with ``"2.4"``).
+        """
+        _PARAM_REGISTRY[name.lower()] = factory
+
     @classmethod
     def from_name(cls, name: str,
                   config: Optional[MachineConfig] = None) -> "FrequencyPolicy":
         """Instantiate a registered policy by name.
 
-        Built-in names: ``minmax``, ``optimal``, ``fmax``, ``fmin``.
+        Built-in names: ``minmax``, ``optimal``, ``fmax``, ``fmin``,
+        ``fixed@<ghz>`` (both phases pinned to the operating point
+        nearest ``<ghz>``; out-of-range frequencies are an error), and
+        ``tuned`` (the schedule-level pair installed by
+        :func:`repro.tuning.tune_workload`; an error until a tuning
+        run has installed one).
         """
-        factory = _POLICY_REGISTRY.get(name.lower())
-        if factory is None:
-            raise ValueError(
-                "unknown policy %r; registered: %s"
-                % (name, ", ".join(sorted(_POLICY_REGISTRY)))
-            )
-        return factory(config or MachineConfig())
+        key = name.lower()
+        factory = _POLICY_REGISTRY.get(key)
+        if factory is not None:
+            return factory(config or MachineConfig())
+        base, sep, arg = key.partition("@")
+        if sep:
+            param_factory = _PARAM_REGISTRY.get(base)
+            if param_factory is not None:
+                return param_factory(config or MachineConfig(), arg)
+        raise ValueError(
+            "unknown policy %r; registered: %s"
+            % (name, ", ".join(sorted(
+                set(_POLICY_REGISTRY)
+                | {"%s@<arg>" % n for n in _PARAM_REGISTRY}
+            )))
+        )
 
     @staticmethod
     def registered_names() -> tuple:
@@ -131,7 +168,59 @@ class FixedPolicy(FrequencyPolicy):
         return self.point
 
 
+def fixed_policy_at(freq_ghz: float, config: MachineConfig) -> FixedPolicy:
+    """A :class:`FixedPolicy` at the operating point nearest ``freq_ghz``.
+
+    The frequency must fall inside the machine's DVFS range (CAE fixed-f
+    baselines below fmin or above fmax would be meaningless); within the
+    range it snaps to the nearest point, preferring the lower frequency
+    when exactly between two.
+    """
+    points = sorted(config.operating_points, key=lambda p: p.freq_ghz)
+    lo, hi = points[0].freq_ghz, points[-1].freq_ghz
+    if not (lo - 1e-9 <= freq_ghz <= hi + 1e-9):
+        raise ValueError(
+            "fixed frequency %.3f GHz outside the DVFS range %.1f-%.1f GHz"
+            % (freq_ghz, lo, hi)
+        )
+    # Distances quantized to 1 kHz so a midpoint like 2.2 GHz is a real
+    # tie (and resolves low) instead of hinging on float rounding.
+    nearest = min(points, key=lambda p: (round(abs(p.freq_ghz - freq_ghz)
+                                               * 1e6), p.freq_ghz))
+    return FixedPolicy(nearest)
+
+
+def _fixed_from_arg(config: MachineConfig, arg: str) -> FixedPolicy:
+    try:
+        freq_ghz = float(arg)
+    except ValueError:
+        raise ValueError(
+            "fixed@ needs a frequency in GHz, e.g. 'fixed@2.4'; got %r" % arg
+        ) from None
+    return fixed_policy_at(freq_ghz, config)
+
+
+def _fixed_needs_frequency(config: MachineConfig) -> "FrequencyPolicy":
+    raise ValueError(
+        "policy 'fixed' needs a frequency: use 'fixed@<ghz>' "
+        "(e.g. 'fixed@2.4'), or 'fmin'/'fmax' for the range endpoints"
+    )
+
+
+def _tuned_not_installed(config: MachineConfig) -> "FrequencyPolicy":
+    raise ValueError(
+        "policy 'tuned' has no tuning result installed; run "
+        "repro.tuning.tune_workload() or "
+        "'python -m repro.evaluation tune <app>' first"
+    )
+
+
 FrequencyPolicy.register("minmax", lambda config: MinMaxPolicy())
 FrequencyPolicy.register("optimal", lambda config: OptimalEDPPolicy())
 FrequencyPolicy.register("fmax", lambda config: FixedPolicy(config.fmax))
 FrequencyPolicy.register("fmin", lambda config: FixedPolicy(config.fmin))
+FrequencyPolicy.register("fixed", _fixed_needs_frequency)
+FrequencyPolicy.register_parameterized("fixed", _fixed_from_arg)
+#: Placeholder: :mod:`repro.tuning` re-registers "tuned" with the
+#: concrete pair once a tuning run has produced one.
+FrequencyPolicy.register("tuned", _tuned_not_installed)

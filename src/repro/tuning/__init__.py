@@ -1,0 +1,85 @@
+"""``repro.tuning`` — DVFS auto-tuning over the paper's simulator.
+
+The paper (Section 6.1) picks each phase's frequency by exhaustive
+per-phase EDP search.  This subsystem generalizes that in three
+directions:
+
+* **objectives** — what to minimize is pluggable (energy, delay, EDP,
+  ED²P, energy under a deadline, delay under a power cap);
+* **strategies** — how to search is pluggable (per-phase grid,
+  golden-section on the continuous V/f line, coordinate descent over
+  the joint access/execute pair);
+* **level** — candidates are scored on the *whole schedule* (work
+  stealing, DVFS transitions, idle tails included), not phase-by-phase
+  in isolation.
+
+:func:`tune_workload` drives it end to end and installs the winner as
+the ``"tuned"`` frequency policy, consumable anywhere a policy name is
+accepted.  See ``DESIGN.md`` §10.
+"""
+
+from .objectives import (
+    DelayObjective,
+    DelayUnderPowerCap,
+    ED2PObjective,
+    EDPObjective,
+    EnergyObjective,
+    EnergyUnderDeadline,
+    Objective,
+    resolve_objective,
+)
+from .pareto import ParetoPoint, dominates, front_from_schedules, pareto_front
+from .policy import TunedPolicy, install_tuned_policy
+from .search import (
+    CandidatePair,
+    SearchOutcome,
+    coordinate_descent,
+    golden_section,
+    grid_search_pair,
+    grid_search_point,
+    interpolate_point,
+    nearest_point,
+    sorted_points,
+)
+from .tuner import (
+    STRATEGIES,
+    StrategySummary,
+    TuningCandidate,
+    TuningResult,
+    TuningStats,
+    pair_label,
+    tune_workload,
+)
+
+__all__ = [
+    "CandidatePair",
+    "DelayObjective",
+    "DelayUnderPowerCap",
+    "ED2PObjective",
+    "EDPObjective",
+    "EnergyObjective",
+    "EnergyUnderDeadline",
+    "Objective",
+    "ParetoPoint",
+    "STRATEGIES",
+    "SearchOutcome",
+    "StrategySummary",
+    "TunedPolicy",
+    "TuningCandidate",
+    "TuningResult",
+    "TuningStats",
+    "coordinate_descent",
+    "dominates",
+    "front_from_schedules",
+    "golden_section",
+    "grid_search_pair",
+    "grid_search_point",
+    "install_tuned_policy",
+    "interpolate_point",
+    "nearest_point",
+    "pair_label",
+    "pareto_front",
+    "resolve_objective",
+    "sorted_points",
+    "tune_workload",
+]

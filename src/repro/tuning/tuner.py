@@ -1,0 +1,783 @@
+"""``tune_workload``: the end-to-end auto-tuning driver.
+
+One call profiles a workload through the evaluation engine (process
+pool + persistent profile cache, PR 2), evaluates candidate operating
+points at *schedule level* — full :meth:`DAEScheduler.run`, work
+stealing and DVFS-transition energy included — under a pluggable
+:class:`~repro.tuning.objectives.Objective`, and installs the winner as
+the ``"tuned"`` frequency policy.
+
+Candidate evaluations are themselves engineered like the engine's jobs:
+
+* **memoized** — each distinct (access, execute) pair is scheduled once
+  per process;
+* **persistently cached** — keyed on the candidate point pair plus the
+  same material that keys the profile cache, so a warm rerun re-profiles
+  nothing and re-schedules nothing;
+* **fanned out** — with ``jobs > 1`` cache-missing candidates are
+  scheduled in a ``ProcessPoolExecutor``, collected in submission order
+  (byte-identical to the serial path), degrading to serial on any pool
+  failure.
+
+Why schedule-level: the paper's per-phase exhaustive EDP search
+(Section 6.1, :class:`OptimalEDPPolicy`) optimizes each phase in
+isolation, but a schedule's EDP also pays transition latency/energy,
+queueing, stealing and idle tails — so the phase-local optimum is not
+the schedule optimum (see ``DESIGN.md`` §10).  The tuner reports both,
+and the regression suite holds the tuned pair to *never lose* to the
+phase-local baseline.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..engine import ExperimentSpec, ProfileCache, run_experiment
+from ..engine.cache import _config_material, cache_key, key_material
+from ..engine.products import phase_from_dict, phase_to_dict
+from ..obs.events import get_collector
+from ..power.frequency import FrequencyPolicy
+from ..runtime.scheduler import DAEScheduler, ScheduleResult
+from ..runtime.task import Scheme, TaskProfile, TaskRef
+from ..sim.config import MachineConfig, OperatingPoint
+from ..sim.timing import PhaseProfile
+from ..transform.access_phase import AccessPhaseOptions
+from ..workloads import Workload
+from .objectives import Objective, resolve_objective
+from .pareto import ParetoPoint, pareto_front
+from .policy import TunedPolicy, install_tuned_policy
+from .search import (
+    CandidatePair,
+    SearchOutcome,
+    coordinate_descent,
+    golden_section,
+    grid_search_pair,
+    grid_search_point,
+    nearest_point,
+    interpolate_point,
+    sorted_points,
+)
+
+#: Candidate-cache payload layout; part of every candidate cache key.
+CANDIDATE_FORMAT = 1
+
+#: Strategy names accepted by :func:`tune_workload` (``all`` runs every
+#: one and keeps the overall winner).
+STRATEGIES = ("phase-local", "exhaustive", "golden", "descent")
+
+#: Named reference policies pinned into every tuning report/front, as
+#: (label, access, execute) selectors over the machine config.
+_REFERENCE_PAIRS = (
+    ("policy:minmax", lambda c: c.fmin, lambda c: c.fmax),
+    ("policy:fmin", lambda c: c.fmin, lambda c: c.fmin),
+    ("policy:fmax", lambda c: c.fmax, lambda c: c.fmax),
+)
+
+
+def pair_label(pair: CandidatePair) -> str:
+    """Stable display/JSON label for a candidate pair."""
+    return "A%.1f/E%.1f" % pair.key
+
+
+@dataclass
+class TuningCandidate:
+    """One evaluated candidate: a point pair (or the phase-local
+    baseline) with its scheduled cost and objective value."""
+
+    label: str
+    pair: Optional[CandidatePair]
+    time_ns: float
+    energy_nj: float
+    value: float
+    feasible: bool
+    transitions: int = 0
+    steals: int = 0
+    from_cache: bool = False
+
+    @property
+    def time_s(self) -> float:
+        return self.time_ns * 1e-9
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_nj * 1e-9
+
+    @property
+    def edp_js(self) -> float:
+        return self.time_s * self.energy_j
+
+    def as_dict(self) -> dict:
+        doc = {
+            "label": self.label,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "edp_js": self.edp_js,
+            "value": self.value if self.feasible else None,
+            "feasible": self.feasible,
+            "transitions": self.transitions,
+            "steals": self.steals,
+        }
+        if self.pair is not None:
+            doc["access_ghz"], doc["execute_ghz"] = self.pair.key
+        return doc
+
+
+@dataclass
+class StrategySummary:
+    """One strategy's result for reports and benchmarks."""
+
+    name: str
+    evaluations: int
+    best_label: str
+    best_value: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "evaluations": self.evaluations,
+            "best": self.best_label,
+            "value": self.best_value if self.best_value != float("inf")
+            else None,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TuningStats:
+    """Execution counters for one :func:`tune_workload` call.
+
+    ``schedule_evals`` counts actual scheduler runs (cache hits and
+    memo hits are free); a fully-warm rerun therefore shows
+    ``schedule_evals == 0`` and ``cache_hits == requests``.
+    """
+
+    requests: int = 0          # distinct candidate pairs requested
+    schedule_evals: int = 0    # scheduler.run calls actually executed
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pool_evals: int = 0
+    serial_evals: int = 0
+    phase_evals: int = 0       # phase-local power-model evaluations
+    engine: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "schedule_evals": self.schedule_evals,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pool_evals": self.pool_evals,
+            "serial_evals": self.serial_evals,
+            "phase_evals": self.phase_evals,
+            "engine": dict(self.engine),
+        }
+
+
+@dataclass
+class TuningResult:
+    """Everything one tuning run produced."""
+
+    workload: str
+    scheme: str
+    objective: str
+    strategy: str
+    scale: int
+    best: TuningCandidate
+    phase_local: TuningCandidate
+    strategies: List[StrategySummary]
+    candidates: List[TuningCandidate]
+    references: dict[str, TuningCandidate]
+    front: List[ParetoPoint]
+    policy: Optional[TunedPolicy]
+    installed: bool
+    stats: TuningStats
+
+    def improvement_over_phase_local(self) -> Optional[float]:
+        """Fractional objective improvement of the tuned pair over the
+        paper's phase-local baseline (``None`` when undefined)."""
+        if not (self.best.feasible and self.phase_local.feasible):
+            return None
+        if self.phase_local.value == 0.0:
+            return None
+        return 1.0 - self.best.value / self.phase_local.value
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON document (no wall-clock, no cache state —
+        repeat runs of the same tuning problem byte-match)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "scale": self.scale,
+            "installed": self.installed,
+            "best": self.best.as_dict(),
+            "phase_local": self.phase_local.as_dict(),
+            "improvement_over_phase_local":
+                self.improvement_over_phase_local(),
+            "strategies": [s.as_dict() for s in self.strategies],
+            "references": {
+                label: candidate.as_dict()
+                for label, candidate in sorted(self.references.items())
+            },
+            "pareto_front": [
+                {"time_s": p.time_s, "energy_j": p.energy_j,
+                 "label": p.label}
+                for p in self.front
+            ],
+            "candidates": [c.as_dict() for c in self.candidates],
+        }
+
+
+class _PhaseLocalPolicy(FrequencyPolicy):
+    """Per-phase grid argmin of an arbitrary objective — the paper's
+    Section 6.1 search generalized from EDP to any objective."""
+
+    name = "phase-local"
+
+    def __init__(self, objective: Objective, stats: TuningStats):
+        self.objective = objective
+        self.stats = stats
+
+    def _argmin(self, profile, config):
+        outcome = grid_search_point(
+            lambda point: self.objective.phase_value(profile, point, config),
+            config.operating_points,
+        )
+        self.stats.phase_evals += outcome.evaluations
+        return outcome.best_point
+
+    def access_point(self, profile, config):
+        return self._argmin(profile, config)
+
+    def execute_point(self, profile, config):
+        return self._argmin(profile, config)
+
+
+def _result_payload(result: ScheduleResult) -> dict:
+    return {
+        "format": CANDIDATE_FORMAT,
+        "time_ns": result.time_ns,
+        "energy_nj": result.energy_nj,
+        "transitions": result.transitions,
+        "steals": result.steals,
+    }
+
+
+def _candidate_worker(args: tuple) -> list:
+    """Top-level (picklable) pool worker: schedule a chunk of candidate
+    pairs over the slim task payload; return one payload per pair."""
+    tasks_doc, scheme_value, config, pair_keys = args
+    tasks = [
+        TaskProfile(
+            instance=TaskRef(name=doc["name"]),
+            execute=phase_from_dict(doc["execute"]),
+            access=(phase_from_dict(doc["access"])
+                    if doc["access"] is not None else None),
+        )
+        for doc in tasks_doc
+    ]
+    scheduler = DAEScheduler(config)
+    out = []
+    for access_f, access_v, execute_f, execute_v in pair_keys:
+        policy = TunedPolicy(
+            OperatingPoint(access_f, access_v),
+            OperatingPoint(execute_f, execute_v),
+        )
+        result = scheduler.run(
+            tasks, Scheme(scheme_value), policy, record_timeline=False
+        )
+        out.append(_result_payload(result))
+    return out
+
+
+class _CandidateEvaluator:
+    """Schedules candidate pairs with memoization, persistent caching,
+    and optional process-pool fan-out."""
+
+    def __init__(self, tasks: List[TaskProfile], run_scheme: Scheme,
+                 config: MachineConfig, objective: Objective,
+                 workload_name: str, stats: TuningStats,
+                 cache: Optional[ProfileCache] = None,
+                 material_base: Optional[dict] = None,
+                 jobs: int = 1):
+        self.tasks = tasks
+        self.run_scheme = run_scheme
+        self.config = config
+        self.objective = objective
+        self.workload_name = workload_name
+        self.stats = stats
+        self.cache = cache if material_base is not None else None
+        self.material_base = material_base
+        self.jobs = jobs
+        self.collector = get_collector()
+        self._memo: dict = {}
+        self._tasks_doc: Optional[list] = None
+        self._scheduler = DAEScheduler(config)
+
+    # -- public API ------------------------------------------------------------
+
+    def value(self, pair: CandidatePair) -> float:
+        return self.evaluate(pair).value
+
+    def evaluate(self, pair: CandidatePair) -> TuningCandidate:
+        self.prefetch([pair])
+        return self._memo[pair.key]
+
+    def prefetch(self, pairs: List[CandidatePair]) -> None:
+        """Ensure every pair is memoized; cache misses are computed in
+        the pool when ``jobs > 1`` allows, serially otherwise, and the
+        results are identical either way (asserted by test)."""
+        missing: List[CandidatePair] = []
+        seen: set = set()
+        for pair in pairs:
+            if pair.key in self._memo or pair.key in seen:
+                continue
+            seen.add(pair.key)
+            self.stats.requests += 1
+            payload = self._cache_load(pair)
+            if payload is not None:
+                self.stats.cache_hits += 1
+                self.collector.instant(
+                    "tuning.cache.hit", cat="tuning.cache",
+                    args={"workload": self.workload_name,
+                          "pair": pair_label(pair)},
+                )
+                self._memo[pair.key] = self._candidate(
+                    pair, payload, from_cache=True
+                )
+                continue
+            if self.cache is not None:
+                self.stats.cache_misses += 1
+                self.collector.instant(
+                    "tuning.cache.miss", cat="tuning.cache",
+                    args={"workload": self.workload_name,
+                          "pair": pair_label(pair)},
+                )
+            missing.append(pair)
+        if not missing:
+            return
+        payloads = self._compute(missing)
+        for pair, payload in zip(missing, payloads):
+            self._cache_store(pair, payload)
+            self._memo[pair.key] = self._candidate(pair, payload)
+            self.collector.instant(
+                "tuning.candidate", cat="tuning",
+                args={"workload": self.workload_name,
+                      "pair": pair_label(pair),
+                      "value": self._memo[pair.key].value},
+            )
+
+    def candidates(self) -> List[TuningCandidate]:
+        """Every distinct evaluated candidate, sorted by pair key."""
+        return [self._memo[key] for key in sorted(self._memo)]
+
+    # -- computation -----------------------------------------------------------
+
+    def _compute(self, pairs: List[CandidatePair]) -> List[dict]:
+        self.stats.schedule_evals += len(pairs)
+        if self.jobs > 1 and len(pairs) > 1:
+            payloads = self._compute_pool(pairs)
+            if payloads is not None:
+                return payloads
+        self.stats.serial_evals += len(pairs)
+        return [self._compute_serial(pair) for pair in pairs]
+
+    def _compute_serial(self, pair: CandidatePair) -> dict:
+        result = self._scheduler.run(
+            self.tasks, self.run_scheme, TunedPolicy.from_pair(pair),
+            record_timeline=False,
+        )
+        return _result_payload(result)
+
+    def _compute_pool(self, pairs: List[CandidatePair]) -> Optional[list]:
+        """Fan ``pairs`` over a process pool in submission-order chunks;
+        ``None`` means "pool unavailable, go serial"."""
+        workers = min(self.jobs, len(pairs))
+        chunks: List[List[CandidatePair]] = [[] for _ in range(workers)]
+        for index, pair in enumerate(pairs):
+            chunks[index % workers].append(pair)
+        chunks = [chunk for chunk in chunks if chunk]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
+                futures = [
+                    executor.submit(_candidate_worker, (
+                        self._tasks_payload(), self.run_scheme.value,
+                        self.config,
+                        [pair.key[:1] + (pair.access.voltage,)
+                         + pair.key[1:] + (pair.execute.voltage,)
+                         for pair in chunk],
+                    ))
+                    for chunk in chunks
+                ]
+                results = [future.result() for future in futures]
+        except Exception as exc:
+            self.collector.instant(
+                "tuning.pool.unavailable", cat="tuning.pool",
+                args={"error": "%s: %s" % (type(exc).__name__, exc)},
+            )
+            return None
+        by_key: dict = {}
+        for chunk, payloads in zip(chunks, results):
+            for pair, payload in zip(chunk, payloads):
+                by_key[pair.key] = payload
+        self.stats.pool_evals += len(pairs)
+        return [by_key[pair.key] for pair in pairs]
+
+    def _tasks_payload(self) -> list:
+        if self._tasks_doc is None:
+            self._tasks_doc = [
+                {
+                    "name": task.instance.name,
+                    "execute": phase_to_dict(task.execute),
+                    "access": (phase_to_dict(task.access)
+                               if task.access is not None else None),
+                }
+                for task in self.tasks
+            ]
+        return self._tasks_doc
+
+    def _candidate(self, pair: CandidatePair, payload: dict,
+                   from_cache: bool = False) -> TuningCandidate:
+        time_s = payload["time_ns"] * 1e-9
+        energy_j = payload["energy_nj"] * 1e-9
+        value = self.objective.evaluate(time_s, energy_j)
+        return TuningCandidate(
+            label=pair_label(pair),
+            pair=pair,
+            time_ns=payload["time_ns"],
+            energy_nj=payload["energy_nj"],
+            value=value,
+            feasible=value != float("inf"),
+            transitions=payload.get("transitions", 0),
+            steals=payload.get("steals", 0),
+            from_cache=from_cache,
+        )
+
+    # -- persistent cache ------------------------------------------------------
+
+    def _pair_material(self, pair: CandidatePair) -> dict:
+        material = dict(self.material_base)
+        material["pair"] = [
+            pair.access.freq_ghz, pair.access.voltage,
+            pair.execute.freq_ghz, pair.execute.voltage,
+        ]
+        return material
+
+    def _cache_load(self, pair: CandidatePair) -> Optional[dict]:
+        if self.cache is None:
+            return None
+        material = self._pair_material(pair)
+        payload = self.cache.load(
+            "tune-%s" % self.workload_name, cache_key(material), material
+        )
+        if payload is not None and payload.get("format") != CANDIDATE_FORMAT:
+            return None
+        return payload
+
+    def _cache_store(self, pair: CandidatePair, payload: dict) -> None:
+        if self.cache is None:
+            return
+        material = self._pair_material(pair)
+        self.cache.store(
+            "tune-%s" % self.workload_name, cache_key(material), material,
+            payload,
+        )
+
+
+def _candidate_material(profile_material: Optional[dict],
+                        workload_name: str, stream: Scheme,
+                        run_scheme: Scheme, config: MachineConfig,
+                        scale: int) -> Optional[dict]:
+    """Everything a candidate's schedule is a function of except the
+    point pair itself; ``None`` when the profiles are uncacheable."""
+    if profile_material is None:
+        return None
+    return {
+        "kind": "tuning-candidate",
+        "format": CANDIDATE_FORMAT,
+        "profile_key": cache_key(profile_material),
+        "workload": workload_name,
+        "stream": stream.value,
+        "run_scheme": run_scheme.value,
+        "scale": int(scale),
+        "config": _config_material(config),
+        "scheduler": {
+            "task_overhead_ns": DAEScheduler.task_overhead_ns,
+            "steal_overhead_ns": DAEScheduler.steal_overhead_ns,
+            "sleep_power_w": DAEScheduler.sleep_power_w,
+        },
+    }
+
+
+def _aggregate_profiles(
+    tasks: List[TaskProfile],
+) -> tuple[PhaseProfile, PhaseProfile]:
+    """Whole-run (access, execute) profiles: the per-phase totals the
+    continuous strategies optimize over."""
+    access = PhaseProfile()
+    execute = PhaseProfile()
+    for task in tasks:
+        execute = execute.merged(task.execute)
+        if task.access is not None:
+            access = access.merged(task.access)
+    return access, execute
+
+
+def tune_workload(workload: Union[Workload, str, type], *,
+                  objective: Union[Objective, str] = "edp",
+                  strategy: str = "all",
+                  scheme: Union[Scheme, str] = Scheme.DAE,
+                  config: Optional[MachineConfig] = None,
+                  scale: int = 1,
+                  jobs: int = 1,
+                  cache: bool = True,
+                  cache_dir: Optional[str] = None,
+                  options: Optional[AccessPhaseOptions] = None,
+                  install: bool = True) -> TuningResult:
+    """Auto-tune ``workload``'s operating points under ``objective``.
+
+    ``strategy`` is one of :data:`STRATEGIES` or ``"all"``.  Profiling
+    goes through the evaluation engine (``jobs`` worker processes,
+    persistent cache); candidate schedules are memoized, persistently
+    cached per point pair, and fanned through a process pool.  The
+    winning pair is installed as the ``"tuned"`` frequency policy
+    unless ``install=False`` (or no candidate is feasible).
+    """
+    config = config or MachineConfig()
+    objective = resolve_objective(objective)
+    scheme = Scheme.coerce(scheme, context="tune_workload")
+    if strategy != "all" and strategy not in STRATEGIES:
+        raise ValueError(
+            "unknown strategy %r; expected 'all' or one of %s"
+            % (strategy, ", ".join(STRATEGIES))
+        )
+    if strategy == "all":
+        selected = STRATEGIES
+    elif strategy == "phase-local":
+        selected = ("phase-local",)
+    else:  # always include the baseline for the comparison column
+        selected = ("phase-local", strategy)
+
+    # Profile stream vs execution mode, as in evaluation.schedule().
+    stream = Scheme.CAE if scheme is Scheme.CAE else scheme
+    run_scheme = Scheme.CAE if scheme is Scheme.CAE else Scheme.DAE
+
+    collector = get_collector()
+    stats = TuningStats()
+    with collector.span("tuning.run", cat="tuning", args={
+        "objective": objective.spec, "strategy": strategy,
+        "scheme": scheme.value, "scale": scale, "jobs": jobs,
+    }) as span:
+        spec = ExperimentSpec(
+            workloads=(workload,), schemes=(stream,), scale=scale,
+            config=config, options=options, jobs=jobs, cache=cache,
+            cache_dir=cache_dir,
+        )
+        resolved = spec.resolve_workloads()[0]
+        span.args["workload"] = resolved.name
+        engine_result = run_experiment(spec)
+        stats.engine = engine_result.stats.as_dict()
+        run = engine_result[resolved.name]
+        tasks = run.profiles[stream.value].tasks
+
+        profile_material = key_material(
+            resolved, spec.scale, config, spec.options, spec.schemes
+        ) if cache else None
+        evaluator = _CandidateEvaluator(
+            tasks=tasks, run_scheme=run_scheme, config=config,
+            objective=objective, workload_name=resolved.name, stats=stats,
+            cache=ProfileCache(cache_dir) if cache else None,
+            material_base=_candidate_material(
+                profile_material, resolved.name, stream, run_scheme,
+                config, scale,
+            ),
+            jobs=jobs,
+        )
+
+        phase_local = _phase_local_candidate(
+            tasks, run_scheme, config, objective, stats
+        )
+        seed = _phase_local_seed(tasks, config, objective, stats)
+
+        summaries: List[StrategySummary] = []
+        for name in selected:
+            with collector.span("tuning.search", cat="tuning",
+                                args={"strategy": name}) as search_span:
+                summary = _run_strategy(
+                    name, evaluator, seed, phase_local, config, objective,
+                )
+                search_span.args.update(summary.as_dict())
+            summaries.append(summary)
+
+        references = _reference_candidates(evaluator, config)
+
+        pair_candidates = evaluator.candidates()
+        best = _select_best(pair_candidates)
+        front = pareto_front(
+            [ParetoPoint(c.time_s, c.energy_j, c.label)
+             for c in pair_candidates]
+            + [ParetoPoint(phase_local.time_s, phase_local.energy_j,
+                           phase_local.label)]
+        )
+
+        policy = TunedPolicy.from_pair(best.pair)
+        installed = False
+        if install and best.feasible:
+            install_tuned_policy(policy)
+            installed = True
+
+        collector.counter("tuning.evaluations", stats.schedule_evals,
+                          cat="tuning.stats")
+        collector.counter("tuning.cache_hits", stats.cache_hits,
+                          cat="tuning.stats")
+        collector.counter("tuning.cache_misses", stats.cache_misses,
+                          cat="tuning.stats")
+        span.args.update(stats.as_dict())
+
+    return TuningResult(
+        workload=resolved.name, scheme=scheme.value, objective=objective.spec,
+        strategy=strategy, scale=scale, best=best, phase_local=phase_local,
+        strategies=summaries, candidates=pair_candidates,
+        references=references, front=front, policy=policy,
+        installed=installed, stats=stats,
+    )
+
+
+# -- tuning internals ----------------------------------------------------------
+
+
+def _phase_local_candidate(tasks, run_scheme, config, objective,
+                           stats) -> TuningCandidate:
+    """Schedule the paper's baseline: per-task, per-phase grid argmin."""
+    scheduler = DAEScheduler(config)
+    result = scheduler.run(
+        tasks, run_scheme, _PhaseLocalPolicy(objective, stats),
+        record_timeline=False,
+    )
+    value = objective.value(result)
+    return TuningCandidate(
+        label="phase-local", pair=None,
+        time_ns=result.time_ns, energy_nj=result.energy_nj,
+        value=value, feasible=value != float("inf"),
+        transitions=result.transitions, steals=result.steals,
+    )
+
+
+def _phase_local_seed(tasks, config, objective, stats) -> CandidatePair:
+    """Descent seed: the phase-local argmin over the *aggregate* access
+    and execute profiles (one pair summarizing the baseline)."""
+    access, execute = _aggregate_profiles(tasks)
+    if access.instructions == 0 and access.slots == 0:
+        access = execute  # CAE stream: the access coordinate is inert
+    outcomes = [
+        grid_search_point(
+            lambda point, profile=profile: objective.phase_value(
+                profile, point, config
+            ),
+            config.operating_points,
+        )
+        for profile in (access, execute)
+    ]
+    stats.phase_evals += sum(o.evaluations for o in outcomes)
+    return CandidatePair(
+        access=outcomes[0].best_point, execute=outcomes[1].best_point
+    )
+
+
+def _run_strategy(name: str, evaluator: _CandidateEvaluator,
+                  seed: CandidatePair, phase_local: TuningCandidate,
+                  config: MachineConfig,
+                  objective: Objective) -> StrategySummary:
+    if name == "phase-local":
+        return StrategySummary(
+            name=name,
+            evaluations=len(config.operating_points),
+            best_label=phase_local.label,
+            best_value=phase_local.value,
+            detail="per-phase grid (Section 6.1 baseline)",
+        )
+    if name == "exhaustive":
+        evaluator.prefetch([
+            CandidatePair(access, execute)
+            for access in sorted_points(config.operating_points)
+            for execute in sorted_points(config.operating_points)
+        ])
+        outcome = grid_search_pair(evaluator.value, config.operating_points)
+        return _summary_from_outcome(name, outcome)
+    if name == "golden":
+        return _run_golden(evaluator, config, objective)
+    if name == "descent":
+        outcome = coordinate_descent(
+            evaluator.value, config.operating_points, seed,
+            prefetch=evaluator.prefetch,
+        )
+        return _summary_from_outcome(name, outcome)
+    raise ValueError("unknown strategy %r" % name)
+
+
+def _run_golden(evaluator: _CandidateEvaluator, config: MachineConfig,
+                objective: Objective) -> StrategySummary:
+    """Golden-section on the continuous V/f line per aggregate phase,
+    snapped to discrete points and evaluated at schedule level."""
+    access, execute = _aggregate_profiles(evaluator.tasks)
+    if access.instructions == 0 and access.slots == 0:
+        access = execute
+    lo = config.fmin.freq_ghz
+    hi = config.fmax.freq_ghz
+    outcomes = [
+        golden_section(
+            lambda f, profile=profile: objective.phase_value(
+                profile, interpolate_point(f, config), config
+            ),
+            lo, hi,
+        )
+        for profile in (access, execute)
+    ]
+    evaluator.stats.phase_evals += sum(o.evaluations for o in outcomes)
+    pair = CandidatePair(
+        access=nearest_point(outcomes[0].best_freq_ghz,
+                             config.operating_points),
+        execute=nearest_point(outcomes[1].best_freq_ghz,
+                              config.operating_points),
+    )
+    candidate = evaluator.evaluate(pair)
+    return StrategySummary(
+        name="golden",
+        evaluations=sum(o.evaluations for o in outcomes) + 1,
+        best_label=candidate.label,
+        best_value=candidate.value,
+        detail="continuous argmin A=%.3f/E=%.3f GHz, snapped"
+        % (outcomes[0].best_freq_ghz, outcomes[1].best_freq_ghz),
+    )
+
+
+def _summary_from_outcome(name: str,
+                          outcome: SearchOutcome) -> StrategySummary:
+    return StrategySummary(
+        name=name,
+        evaluations=outcome.evaluations,
+        best_label=pair_label(outcome.best_pair),
+        best_value=outcome.best_value,
+    )
+
+
+def _reference_candidates(evaluator: _CandidateEvaluator,
+                          config: MachineConfig) -> dict:
+    """The named baseline policies as labelled pair candidates."""
+    references = {}
+    for label, access_of, execute_of in _REFERENCE_PAIRS:
+        pair = CandidatePair(access=access_of(config),
+                             execute=execute_of(config))
+        references[label] = evaluator.evaluate(pair)
+    return references
+
+
+def _select_best(candidates: List[TuningCandidate]) -> TuningCandidate:
+    """Deterministic winner: lowest value, then lowest (access,
+    execute) frequency pair."""
+    assert candidates, "no candidates evaluated"
+    return min(candidates, key=lambda c: (c.value, c.pair.key))

@@ -1,15 +1,18 @@
 """Power model and frequency-policy tests (Section 3.2)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.power import (
     EnergyBreakdown,
     FixedPolicy,
+    FrequencyPolicy,
     MinMaxPolicy,
-    OptimalEDPPolicy,
     dynamic_power,
     edp,
     effective_capacitance,
+    fixed_policy_at,
     optimal_edp_point,
     phase_edp_at,
     phase_energy,
@@ -18,6 +21,7 @@ from repro.power import (
     transition_energy,
 )
 from repro.sim import AccessCounts, MachineConfig, PhaseProfile
+from repro.sim.config import sandybridge_operating_points
 
 
 def profile(instructions=1000, slots=1000, mem_misses=0):
@@ -117,3 +121,107 @@ class TestPolicies:
         best_value = phase_edp_at(mixed, best, config)
         for point in config.operating_points:
             assert best_value <= phase_edp_at(mixed, point, config) + 1e-18
+
+    def test_optimal_breaks_ties_toward_lower_frequency(self):
+        # A zero-work phase has zero time, hence EDP == 0 at every
+        # operating point: a perfect tie, which must resolve to fmin.
+        config = MachineConfig()
+        empty = PhaseProfile()
+        assert all(
+            phase_edp_at(empty, p, config) == 0.0
+            for p in config.operating_points
+        )
+        assert optimal_edp_point(empty, config) is config.fmin
+
+    def test_optimal_tie_break_independent_of_point_order(self):
+        # Same tie, operating points listed high-to-low: still fmin.
+        reversed_config = MachineConfig(
+            operating_points=tuple(reversed(sandybridge_operating_points()))
+        )
+        chosen = optimal_edp_point(PhaseProfile(), reversed_config)
+        assert chosen.freq_ghz == pytest.approx(1.6)
+
+
+class TestFixedFromName:
+    def test_fixed_at_exact_point(self):
+        config = MachineConfig()
+        policy = FrequencyPolicy.from_name("fixed@2.0", config)
+        assert isinstance(policy, FixedPolicy)
+        assert policy.point.freq_ghz == pytest.approx(2.0)
+
+    def test_fixed_snaps_to_nearest_point(self):
+        config = MachineConfig()
+        assert FrequencyPolicy.from_name(
+            "fixed@2.1", config
+        ).point.freq_ghz == pytest.approx(2.0)
+        assert FrequencyPolicy.from_name(
+            "fixed@3.35", config
+        ).point.freq_ghz == pytest.approx(3.4)
+
+    def test_fixed_midpoint_snaps_low(self):
+        config = MachineConfig()
+        assert fixed_policy_at(2.2, config).point.freq_ghz == pytest.approx(
+            2.0
+        )
+
+    def test_fixed_out_of_range_rejected(self):
+        config = MachineConfig()
+        for freq in ("1.0", "3.8"):
+            with pytest.raises(ValueError, match="outside the DVFS range"):
+                FrequencyPolicy.from_name("fixed@%s" % freq, config)
+
+    def test_fixed_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="frequency in GHz"):
+            FrequencyPolicy.from_name("fixed@fast", MachineConfig())
+
+    def test_bare_fixed_needs_frequency(self):
+        with pytest.raises(ValueError, match="needs a frequency"):
+            FrequencyPolicy.from_name("fixed", MachineConfig())
+
+    def test_tuned_placeholder_until_installed(self):
+        with pytest.raises(ValueError, match="no tuning result"):
+            FrequencyPolicy.from_name("tuned", MachineConfig())
+
+
+class TestModelInvariants:
+    def test_power_w_is_nj_per_ns(self):
+        # nJ/ns == W: the identity EnergyBreakdown.power_w relies on.
+        assert EnergyBreakdown(250.0, 1000.0).power_w == pytest.approx(4.0)
+        assert EnergyBreakdown(0.0, 1000.0).power_w == 0.0
+        config = MachineConfig()
+        for point in config.operating_points:
+            breakdown = phase_energy(512.0, point, 1.5, config, active_cores=2)
+            assert breakdown.power_w == pytest.approx(
+                breakdown.energy_nj / breakdown.time_ns
+            )
+            assert breakdown.power_w == pytest.approx(
+                total_power(point, 1.5, 2, config)
+            )
+
+    def test_transition_energy_is_static_only(self):
+        # "During each DVFS transition we count only the static energy"
+        # (Section 6.1): no dependence on the dynamic-power constants.
+        config = MachineConfig()
+        no_dynamic = replace(config, ceff_slope=0.0, ceff_base=0.0)
+        for point in config.operating_points:
+            breakdown = transition_energy(config, point)
+            assert breakdown.energy_nj == pytest.approx(
+                static_power(point, 1, config) * config.dvfs_transition_ns
+            )
+            assert breakdown.energy_nj == pytest.approx(
+                transition_energy(no_dynamic, point).energy_nj
+            )
+
+    def test_dynamic_power_monotone_in_f_and_v(self):
+        config = MachineConfig()
+        points = sandybridge_operating_points()
+        for ipc in (0.0, 0.5, 2.0):
+            powers = [dynamic_power(p, ipc, config) for p in points]
+            assert powers == sorted(powers)
+            assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_static_power_monotone_along_vf_line(self):
+        config = MachineConfig()
+        points = sandybridge_operating_points()
+        powers = [static_power(p, 1, config) for p in points]
+        assert all(b > a for a, b in zip(powers, powers[1:]))

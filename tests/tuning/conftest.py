@@ -1,0 +1,38 @@
+"""Shared fixtures for the tuning suite.
+
+Profiling all seven paper workloads is the expensive part (~20s for the
+DAE stream), so it happens once per session, into a session-scoped
+cache directory that the tuning tests reuse — which also exercises the
+profile-cache sharing between the engine and the tuner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExperimentSpec, run_experiment
+from repro.runtime.task import Scheme
+
+
+@pytest.fixture(autouse=True)
+def fresh_tuned_registry():
+    """Each tuning test starts (and leaves) with no tuning result
+    installed, so the global policy registry never leaks across tests."""
+    from repro.tuning.policy import _unregister_tuned_for_tests
+    _unregister_tuned_for_tests()
+    yield
+    _unregister_tuned_for_tests()
+
+
+@pytest.fixture(scope="session")
+def tuning_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("tuning-cache"))
+
+
+@pytest.fixture(scope="session")
+def dae_runs(tuning_cache_dir):
+    """All seven paper workloads profiled once (DAE stream only)."""
+    spec = ExperimentSpec(
+        schemes=(Scheme.DAE,), cache_dir=tuning_cache_dir,
+    )
+    return run_experiment(spec)

@@ -1,0 +1,101 @@
+"""Objective registry, constraint handling, and power-model agreement."""
+
+import pytest
+
+from repro.power.frequency import phase_edp_at
+from repro.sim.config import MachineConfig
+from repro.sim.timing import PhaseProfile
+from repro.tuning import (
+    DelayUnderPowerCap,
+    EDPObjective,
+    EnergyUnderDeadline,
+    Objective,
+    resolve_objective,
+)
+
+
+def _profile() -> PhaseProfile:
+    profile = PhaseProfile(instructions=4000, slots=6000)
+    profile.counts.loads["l1"] = 300
+    profile.counts.loads["dram"] = 20
+    return profile
+
+
+class TestRegistry:
+    def test_plain_names_resolve(self):
+        for name in ("edp", "ed2p", "energy", "delay"):
+            objective = Objective.from_name(name)
+            assert objective.name == name
+            assert objective.spec == name
+
+    def test_names_are_case_insensitive(self):
+        assert Objective.from_name("EDP").name == "edp"
+
+    def test_parameterized_names_resolve(self):
+        deadline = Objective.from_name("energy-under-deadline@0.5")
+        assert isinstance(deadline, EnergyUnderDeadline)
+        assert deadline.deadline_s == 0.5
+        assert deadline.spec == "energy-under-deadline@0.5"
+        cap = Objective.from_name("delay-under-power-cap@35")
+        assert isinstance(cap, DelayUnderPowerCap)
+        assert cap.cap_w == 35.0
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="edp"):
+            Objective.from_name("nope")
+
+    def test_parameterized_needs_numeric_bound(self):
+        with pytest.raises(ValueError, match="numeric bound"):
+            Objective.from_name("energy-under-deadline@soon")
+
+    def test_parameterized_needs_positive_bound(self):
+        with pytest.raises(ValueError, match="positive"):
+            Objective.from_name("delay-under-power-cap@-3")
+
+    def test_resolve_objective_coerces(self):
+        assert resolve_objective("edp").name == "edp"
+        instance = EDPObjective()
+        assert resolve_objective(instance) is instance
+        with pytest.raises(ValueError):
+            resolve_objective(42)
+
+
+class TestScores:
+    def test_unconstrained_scores(self):
+        time_s, energy_j = 2.0, 3.0
+        assert resolve_objective("energy").evaluate(time_s, energy_j) == 3.0
+        assert resolve_objective("delay").evaluate(time_s, energy_j) == 2.0
+        assert resolve_objective("edp").evaluate(time_s, energy_j) == 6.0
+        assert resolve_objective("ed2p").evaluate(time_s, energy_j) == 12.0
+
+    def test_deadline_constraint_goes_infeasible(self):
+        objective = EnergyUnderDeadline(1.0)
+        assert objective.evaluate(0.5, 7.0) == 7.0
+        assert objective.evaluate(1.5, 7.0) == float("inf")
+
+    def test_power_cap_constraint_goes_infeasible(self):
+        objective = DelayUnderPowerCap(10.0)  # watts
+        assert objective.evaluate(2.0, 15.0) == 2.0    # 7.5 W, fits
+        assert objective.evaluate(1.0, 15.0) == float("inf")  # 15 W
+
+    def test_zero_time_never_trips_power_cap(self):
+        assert DelayUnderPowerCap(10.0).evaluate(0.0, 5.0) == 0.0
+
+
+class TestPhaseValue:
+    def test_edp_phase_value_matches_phase_edp_at_bitwise(self):
+        """The acceptance-critical identity: the `edp` objective's
+        phase-local arithmetic is the paper's `phase_edp_at`, exactly."""
+        config = MachineConfig()
+        profile = _profile()
+        objective = EDPObjective()
+        for point in config.operating_points:
+            assert objective.phase_value(profile, point, config) \
+                == phase_edp_at(profile, point, config)
+
+    def test_infeasible_phase_value_is_inf(self):
+        config = MachineConfig()
+        objective = EnergyUnderDeadline(1e-15)  # impossible deadline
+        point = config.operating_points[0]
+        assert objective.phase_value(_profile(), point, config) \
+            == float("inf")
