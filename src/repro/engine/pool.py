@@ -46,9 +46,10 @@ from .spec import EngineResult, EngineStats, ExperimentSpec
 def _pool_worker(payload: tuple) -> dict:
     """Top-level (picklable) worker: profile one workload, return the
     slim JSON-able product."""
-    workload, scale, config, options, scheme_values = payload
+    workload, scale, config, options, scheme_values, interp = payload
     run = profile_workload(
         workload, scale, config, options=options, schemes=scheme_values,
+        interp=interp,
     )
     return run_to_payload(run)
 
@@ -68,7 +69,7 @@ class _Job:
     def payload_args(self, spec: ExperimentSpec) -> tuple:
         return (
             self.workload, spec.scale, spec.config, spec.options,
-            tuple(s.value for s in spec.schemes),
+            tuple(s.value for s in spec.schemes), spec.interp,
         )
 
 
@@ -164,7 +165,7 @@ def run_experiment(spec: ExperimentSpec) -> EngineResult:
 def _run_serial_job(job: _Job, spec: ExperimentSpec) -> None:
     job.run = profile_workload(
         job.workload, spec.scale, spec.config,
-        options=spec.options, schemes=spec.schemes,
+        options=spec.options, schemes=spec.schemes, interp=spec.interp,
     )
 
 

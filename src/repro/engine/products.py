@@ -94,6 +94,7 @@ def profile_workload(workload: Workload, scale: int = 1,
                      config: Optional[MachineConfig] = None, *,
                      options: Optional[AccessPhaseOptions] = None,
                      schemes: Sequence[Union[Scheme, str]] = ALL_SCHEMES,
+                     interp: Optional[str] = None,
                      ) -> WorkloadRun:
     """Compile ``workload`` once and profile it under every scheme.
 
@@ -103,6 +104,11 @@ def profile_workload(workload: Workload, scale: int = 1,
     builder is non-deterministic and every cross-scheme comparison
     downstream would be invalid, so it raises :class:`EngineError`
     instead of silently keeping the last count.
+
+    ``interp`` picks the interpreter implementation (``"fast"`` /
+    ``"reference"``; ``None`` defers to ``$REPRO_INTERP``, then
+    ``"fast"``).  Both produce byte-identical profiles — the choice is
+    deliberately *not* part of the engine's cache key.
     """
     config = config or MachineConfig()
     compiled = workload.compile(options)
@@ -111,7 +117,7 @@ def profile_workload(workload: Workload, scale: int = 1,
     for scheme in schemes:
         scheme = Scheme.coerce(scheme, context="profile_workload")
         memory, tasks, _ = workload.instantiate(scale=scale, compiled=compiled)
-        profiler = TaskStreamProfiler(memory, config)
+        profiler = TaskStreamProfiler(memory, config, interp=interp)
         profiles[scheme.value] = profiler.profile(tasks, scheme)
         if task_count is None:
             task_count = len(tasks)

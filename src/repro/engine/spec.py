@@ -20,6 +20,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional, Tuple, Union
 
+from ..interp.fast import resolve_interp
 from ..sim.config import MachineConfig
 from ..transform.access_phase import AccessPhaseOptions
 from ..workloads import ALL_WORKLOADS, Workload, workload_by_name
@@ -52,6 +53,11 @@ class ExperimentSpec:
     #: Per-job wall-clock budget when running in the pool; a job that
     #: exceeds it is retried once, then computed serially.
     timeout_s: float = 900.0
+    #: Interpreter implementation: ``"fast"`` (pre-decoded, default) or
+    #: ``"reference"``; ``None`` defers to ``$REPRO_INTERP``.  Both are
+    #: bit-identical, so this knob is *excluded* from the cache key —
+    #: cached profiles are valid under either.
+    interp: Optional[str] = None
 
     def __post_init__(self):
         if self.scale < 1:
@@ -60,6 +66,8 @@ class ExperimentSpec:
             raise ValueError("jobs must be >= 1, got %r" % (self.jobs,))
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.interp is not None:
+            object.__setattr__(self, "interp", resolve_interp(self.interp))
         object.__setattr__(self, "schemes", tuple(
             Scheme.coerce(s, context="ExperimentSpec") for s in self.schemes
         ))

@@ -27,8 +27,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+import os
+
 from .. import obs
 from ..engine import ExperimentSpec, ProfileCache, run_experiment
+from ..interp import INTERP_CHOICES
 from ..sim.config import MachineConfig
 from ..tuning import STRATEGIES, tune_workload
 from ..workloads import ALL_WORKLOADS, workload_by_name
@@ -82,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--events", metavar="PATH", default=None,
         help="also write the run's event log as JSONL",
+    )
+    group.add_argument(
+        "--interp", choices=INTERP_CHOICES, default=None,
+        help="interpreter implementation (default: $REPRO_INTERP or "
+             "'fast'; both produce byte-identical profiles)",
     )
 
     parser = argparse.ArgumentParser(
@@ -145,6 +153,11 @@ def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if getattr(args, "interp", None):
+        # trace/tune build their profilers internally; the env knob is
+        # how the choice reaches every TaskStreamProfiler they create.
+        os.environ["REPRO_INTERP"] = args.interp
+
     if args.experiment == "cache":
         return _run_cache(args)
     if args.experiment == "trace":
@@ -199,6 +212,7 @@ def _spec_from_args(args, workloads=()) -> ExperimentSpec:
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        interp=args.interp,
     )
 
 

@@ -1,5 +1,13 @@
-"""IR interpreter and simulated memory."""
+"""IR interpreters (reference and fast) and simulated memory."""
 
+from .decode import (
+    DecodedFunction,
+    decode_function,
+    decode_stats,
+    invalidate_decode,
+    reset_decode_stats,
+)
+from .fast import INTERP_CHOICES, FastInterpreter, resolve_interp
 from .interpreter import (
     UNDEF,
     ExecutionTrace,
@@ -11,5 +19,8 @@ from .memory import Allocation, MemoryError_, SimMemory
 
 __all__ = [
     "UNDEF", "ExecutionTrace", "InterpError", "Interpreter", "MemoryEvent",
+    "FastInterpreter", "INTERP_CHOICES", "resolve_interp",
+    "DecodedFunction", "decode_function", "decode_stats",
+    "invalidate_decode", "reset_decode_stats",
     "Allocation", "MemoryError_", "SimMemory",
 ]

@@ -42,6 +42,7 @@ class SimMemory:
         self._cells: dict[int, float | int] = {}
         self.allocations: list[Allocation] = []
         self.check_bounds = check_bounds
+        self._last_region: Optional[Allocation] = None
 
     # -- allocation ---------------------------------------------------------------
 
@@ -64,8 +65,16 @@ class SimMemory:
         return base
 
     def region_of(self, address: int) -> Optional[Allocation]:
+        # Accesses cluster heavily within one allocation, so checking
+        # the last matched region first makes the bounds check O(1) on
+        # the hot path.  Allocations never overlap (bump allocator), so
+        # the memoized answer is the same one the scan would find.
+        last = self._last_region
+        if last is not None and last.base <= address < last.end:
+            return last
         for alloc in self.allocations:
             if alloc.base <= address < alloc.end:
+                self._last_region = alloc
                 return alloc
         return None
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..interp.decode import decode_stats
+from ..interp.fast import FastInterpreter, resolve_interp
 from ..interp.interpreter import Interpreter
 from ..interp.memory import SimMemory
 from ..obs.events import get_collector
@@ -39,6 +41,10 @@ class StreamProfile:
 
     scheme: str
     tasks: list[TaskProfile] = field(default_factory=list)
+    #: Accesses served by the per-core MRU same-line filter (fast-path
+    #: diagnostics only; identical under both interpreters and not part
+    #: of the engine's persisted payload).
+    mru_shortcircuits: int = 0
 
     def aggregate_execute(self) -> PhaseProfile:
         total = PhaseProfile()
@@ -62,9 +68,15 @@ class TaskStreamProfiler:
     stream it will actually run.
     """
 
-    def __init__(self, memory: SimMemory, config: Optional[MachineConfig] = None):
+    def __init__(self, memory: SimMemory, config: Optional[MachineConfig] = None,
+                 interp: Optional[str] = None):
         self.memory = memory
         self.config = config or MachineConfig()
+        #: Which interpreter runs the phases: ``"fast"`` (pre-decoded,
+        #: streaming events straight into the cache model) or
+        #: ``"reference"`` (the executable specification).  Both produce
+        #: byte-identical profiles; ``None`` defers to ``$REPRO_INTERP``.
+        self.interp = resolve_interp(interp)
 
     def profile(self, tasks: list[TaskInstance],
                 scheme: Union[Scheme, str],
@@ -126,6 +138,9 @@ class TaskStreamProfiler:
                     access=access_profile,
                 )
             )
+        result.mru_shortcircuits = sum(
+            core.mru_hits for core in caches.cores
+        )
         if collector.enabled:
             collector.counter(
                 "profiler.tasks", len(result.tasks), cat="runtime.profiler",
@@ -136,13 +151,43 @@ class TaskStreamProfiler:
     def _run_phase(self, func, args, core, phase: str = "",
                    task: str = "") -> PhaseProfile:
         counts = AccessCounts()
-
-        def observe(event):
-            core.access(event.address, event.kind, counts)
-
-        interp = Interpreter(self.memory, observer=observe)
-        trace = interp.run(func, args)
         collector = get_collector()
+        if self.interp == "fast":
+            # Streaming pipeline: each memory operation flows as three
+            # scalars straight into the cache hierarchy — no MemoryEvent
+            # object, no event list.
+            core_access = core.access
+
+            def sink(kind, address, size):
+                core_access(address, kind, counts)
+
+            decode_before = decode_stats() if collector.enabled else None
+            mru_before = core.mru_hits
+            interp = FastInterpreter(self.memory, sink=sink)
+            trace = interp.run(func, args)
+            if collector.enabled:
+                decode_after = decode_stats()
+                collector.counter(
+                    "interp.decode.cache_hit",
+                    decode_after["hits"] - decode_before["hits"],
+                    cat="runtime.interp",
+                    args={
+                        "task": task, "phase": phase,
+                        "misses": decode_after["misses"] - decode_before["misses"],
+                    },
+                )
+                collector.counter(
+                    "sim.l1.mru_shortcircuit",
+                    core.mru_hits - mru_before,
+                    cat="runtime.interp",
+                    args={"task": task, "phase": phase},
+                )
+        else:
+            def observe(event):
+                core.access(event.address, event.kind, counts)
+
+            interp = Interpreter(self.memory, observer=observe)
+            trace = interp.run(func, args)
         if collector.enabled:
             # Post-hoc snapshots: the interpreter and caches run
             # uninstrumented, then their counters are recorded once per

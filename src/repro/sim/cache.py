@@ -7,6 +7,7 @@ level that served it — the input to the core timing model.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .config import CacheConfig, MachineConfig
@@ -18,35 +19,40 @@ LEVELS = ("l1", "l2", "llc", "mem", "mem_stream")
 
 
 class Cache:
-    """One set-associative LRU cache of line addresses."""
+    """One set-associative LRU cache of line addresses.
+
+    Each set is an :class:`~collections.OrderedDict` kept in recency
+    order (LRU first, MRU last): a hit moves the line to the end, an
+    eviction pops the front.  Every operation is O(1) — the previous
+    implementation tagged lines with a global tick and paid an O(ways)
+    ``min()`` scan per eviction.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
-        self.sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
-        self._tick = 0
+        self.sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
 
-    def _set_for(self, line: int) -> dict[int, int]:
+    def _set_for(self, line: int) -> OrderedDict[int, None]:
         return self.sets[line % self.config.sets]
 
     def lookup(self, line: int) -> bool:
         """True on hit; updates recency."""
-        cache_set = self._set_for(line)
+        cache_set = self.sets[line % self.config.sets]
         if line in cache_set:
-            self._tick += 1
-            cache_set[line] = self._tick
+            cache_set.move_to_end(line)
             return True
         return False
 
     def fill(self, line: int) -> None:
         """Insert a line, evicting LRU if the set is full."""
-        cache_set = self._set_for(line)
+        cache_set = self.sets[line % self.config.sets]
         if line in cache_set:
             return
         if len(cache_set) >= self.config.ways:
-            victim = min(cache_set, key=cache_set.get)  # type: ignore[arg-type]
-            del cache_set[victim]
-        self._tick += 1
-        cache_set[line] = self._tick
+            cache_set.popitem(last=False)
+        cache_set[line] = None
 
     def flush(self) -> None:
         for cache_set in self.sets:
@@ -65,10 +71,16 @@ class AccessCounts:
     prefetches: dict[str, int] = field(default_factory=lambda: dict.fromkeys(LEVELS, 0))
 
     def record(self, kind: str, level: str) -> None:
-        bucket = {
-            "load": self.loads, "store": self.stores, "prefetch": self.prefetches,
-        }[kind]
-        bucket[level] += 1
+        # Branching beats building a selector dict per call; this is on
+        # the per-memory-event hot path.
+        if kind == "load":
+            self.loads[level] += 1
+        elif kind == "store":
+            self.stores[level] += 1
+        elif kind == "prefetch":
+            self.prefetches[level] += 1
+        else:
+            raise KeyError(kind)
 
     @property
     def demand_mem_misses(self) -> int:
@@ -129,10 +141,28 @@ class CoreCaches:
         self.llc = shared_llc
         self.line_bytes = config.l1.line_bytes
         self._recent_misses: list[int] = []
+        #: MRU same-line filter: the line of this core's most recent
+        #: access.  Every access path ends with its line filled into
+        #: (or touched in) the L1 as most-recently-used, and only this
+        #: core can evict from its private L1 — so a repeat of the same
+        #: line is *guaranteed* an L1 hit whose move-to-end is a no-op,
+        #: and the full lookup can be skipped without changing any
+        #: cache state or count.  Consecutive same-line accesses are
+        #: the overwhelming common case for affine streams (several
+        #: word-sized touches per 64-byte line).
+        self._mru_line: int = -1
+        #: How many accesses the filter short-circuited (the
+        #: ``sim.l1.mru_shortcircuit`` obs counter).
+        self.mru_hits = 0
 
     def access(self, address: int, kind: str, counts: AccessCounts) -> str:
         """Simulate one access; returns the level that served it."""
         line = address // self.line_bytes
+        if line == self._mru_line:
+            self.mru_hits += 1
+            counts.record(kind, "l1")
+            return "l1"
+        self._mru_line = line
         if self.l1.lookup(line):
             level = "l1"
         elif self.l2.lookup(line):
@@ -165,6 +195,7 @@ class CoreCaches:
         self.l1.flush()
         self.l2.flush()
         self._recent_misses.clear()
+        self._mru_line = -1
 
 
 class MachineCaches:
