@@ -20,7 +20,11 @@ interchangeable.
 The engine reports into :mod:`repro.obs`: an ``engine.run`` span wraps
 the batch, per-job instants show the fan-out, and ``engine.*`` counters
 mirror :class:`~repro.engine.spec.EngineStats` (the cache-hit counter is
-how a warm run proves it skipped all profiling).
+how a warm run proves it skipped all profiling).  Independently of the
+event collector (which is off by default), every run also updates the
+always-on metrics registry: an ``engine.pool.job_ms`` histogram of
+per-job wall clock (dispatch to completion, any execution path) and an
+``engine.cache.hit_rate`` gauge — both land in run-ledger manifests.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..obs.events import get_collector
+from ..obs.metrics import get_registry
 from ..workloads.base import Workload
 from .cache import ProfileCache, cache_key, key_material
 from .products import (
@@ -65,6 +70,14 @@ class _Job:
     run: Optional[WorkloadRun] = None
     source: str = "serial"           # how it was ultimately computed
     payload_cache: dict = field(default_factory=dict)
+    started: float = 0.0             # perf_counter at dispatch
+
+    def finish(self) -> None:
+        """Record this job's dispatch-to-completion wall clock."""
+        get_registry().histogram(
+            "engine.pool.job_ms",
+            "per-job wall clock, dispatch to completion",
+        ).observe((time.perf_counter() - self.started) * 1e3)
 
     def payload_args(self, spec: ExperimentSpec) -> tuple:
         return (
@@ -149,6 +162,12 @@ def run_experiment(spec: ExperimentSpec) -> EngineResult:
         runs = {w.name: runs[w.name] for w in workloads}
 
         stats.elapsed_s = time.perf_counter() - started
+        probes = stats.cache_hits + stats.cache_misses
+        if probes:
+            get_registry().gauge(
+                "engine.cache.hit_rate",
+                "cache hits / cache probes of the latest engine run",
+            ).set(stats.cache_hits / probes)
         for name, value in stats.as_dict().items():
             if name == "elapsed_s":
                 continue
@@ -172,9 +191,11 @@ def _run_serial_job(job: _Job, spec: ExperimentSpec) -> None:
 def _execute_serial(jobs: list, spec: ExperimentSpec,
                     stats: EngineStats) -> None:
     for job in jobs:
+        job.started = time.perf_counter()
         _run_serial_job(job, spec)
         job.source = "serial"
         stats.serial_jobs += 1
+        job.finish()
 
 
 def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
@@ -200,6 +221,7 @@ def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
         return
 
     def submit(job: _Job):
+        job.started = time.perf_counter()
         return executor.submit(_pool_worker, job.payload_args(spec))
 
     timed_out = False
@@ -255,11 +277,13 @@ def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
                 job.source = "pool"
                 job.payload_cache["payload"] = payload
                 stats.parallel_jobs += 1
+                job.finish()
             else:
                 stats.fallbacks += 1
                 _run_serial_job(job, spec)
                 job.source = "serial-fallback"
                 stats.serial_jobs += 1
+                job.finish()
     finally:
         # A timed-out worker may still be busy; don't block on it.  In
         # every other case wait so the pool's pipes close cleanly.

@@ -4,15 +4,18 @@ from .experiments import (
     FIGURE3_CONFIGS,
     FIGURE4_CONFIGS,
     FIGURE4_WORKLOADS,
+    MANIFEST_CONFIGS,
     Figure3Row,
     Figure4Point,
     Figure4Series,
     HeadlineNumbers,
     Table1Row,
     WorkloadRun,
+    build_run_manifest,
     figure3_rows,
     figure4_series,
     headline_numbers,
+    record_run,
     relative_metrics,
     run_all,
     run_workload,
@@ -51,9 +54,11 @@ from .tuning import (
 )
 
 __all__ = [
-    "FIGURE3_CONFIGS", "FIGURE4_CONFIGS", "FIGURE4_WORKLOADS", "Figure3Row",
+    "FIGURE3_CONFIGS", "FIGURE4_CONFIGS", "FIGURE4_WORKLOADS",
+    "MANIFEST_CONFIGS", "Figure3Row",
     "Figure4Point", "Figure4Series", "HeadlineNumbers", "Table1Row",
-    "WorkloadRun", "figure3_rows", "figure4_series", "headline_numbers",
+    "WorkloadRun", "build_run_manifest", "figure3_rows", "figure4_series",
+    "headline_numbers", "record_run",
     "relative_metrics", "run_all", "run_workload", "schedule", "table1_rows",
     "FIGURE1_SPECS", "FIGURE2_SPEC", "AnalysisDemo", "KernelSpec",
     "analyze_kernel", "figure1_demo", "figure2_demo",

@@ -4,8 +4,15 @@ Experiments: ``table1``, ``figure1``, ``figure2``, ``figure3``,
 ``figure4``, ``headline``, ``all``, ``trace <app>`` (fully-observed
 single-workload run writing a Chrome trace, a JSONL event log, and an
 explain report), ``tune <app>`` (auto-tune the workload's operating
-points and write a markdown + JSON tuning report), and
-``cache {stats,clear}`` (inspect / empty the persistent profile cache).
+points and write a markdown + JSON tuning report),
+``cache {stats,clear}`` (inspect / empty the persistent profile cache),
+and ``runs {record,list,show,compare}`` — the persistent run ledger:
+``record`` profiles workloads and appends a JSON manifest (schedule
+summaries, relative metrics, energy attribution, engine telemetry)
+under ``<cache root>/runs/``; ``compare A B`` renders a markdown
+regression diff of two manifests (time/energy/EDP per workload ×
+configuration, ``--threshold`` percent) and exits nonzero on
+regression, which is how CI gates against a committed baseline.
 
 All experiment subcommands share one flag set (a common argparse parent
 parser):
@@ -146,6 +153,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="profile cache root (default ~/.cache/repro-dae "
              "or $REPRO_CACHE_DIR)",
     )
+
+    ledger_flags = argparse.ArgumentParser(add_help=False)
+    ledger_flags.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="run-ledger root (default <cache root>/runs)",
+    )
+    runs = sub.add_parser(
+        "runs", help="record, inspect and diff run-ledger manifests",
+    )
+    runs_sub = runs.add_subparsers(dest="verb", required=True)
+    runs_record = runs_sub.add_parser(
+        "record", parents=[common, ledger_flags],
+        help="profile workloads and append a run manifest to the ledger",
+    )
+    runs_record.add_argument(
+        "workloads", nargs="*", metavar="APP",
+        help="workload names (default: all seven)",
+    )
+    runs_record.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the manifest JSON to PATH",
+    )
+    runs_sub.add_parser(
+        "list", parents=[ledger_flags],
+        help="list recorded runs, oldest first",
+    )
+    runs_show = runs_sub.add_parser(
+        "show", parents=[ledger_flags],
+        help="print one manifest (run id, unique prefix, 'latest', or path)",
+    )
+    runs_show.add_argument("ref", help="run id / prefix / 'latest' / path")
+    runs_compare = runs_sub.add_parser(
+        "compare", parents=[ledger_flags],
+        help="diff two manifests; exit 1 on regression",
+    )
+    runs_compare.add_argument("base", help="baseline run ref (or file path)")
+    runs_compare.add_argument("new", help="candidate run ref (or file path)")
+    runs_compare.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="regression threshold in percent (default 5.0)",
+    )
+    runs_compare.add_argument(
+        "--metrics", default="time,energy,edp", metavar="LIST",
+        help="comma-separated subset of time,energy,edp (default: all)",
+    )
     return parser
 
 
@@ -160,6 +212,8 @@ def main(argv=None) -> int:
 
     if args.experiment == "cache":
         return _run_cache(args)
+    if args.experiment == "runs":
+        return _run_runs(args, parser)
     if args.experiment == "trace":
         return _run_trace(args, parser)
     if args.experiment == "tune":
@@ -234,6 +288,78 @@ def _run_cache(args) -> int:
         removed = cache.clear()
         print("removed %d cache entr%s from %s"
               % (removed, "y" if removed == 1 else "ies", cache.root))
+    return 0
+
+
+def _run_runs(args, parser) -> int:
+    import json
+
+    from ..obs.ledger import RunLedger, compare_runs, render_comparison
+    from .experiments import record_run
+
+    ledger = RunLedger(args.ledger_dir)
+    if args.verb == "list":
+        entries = ledger.entries()
+        if not entries:
+            print("no runs recorded in %s" % ledger.root)
+            return 0
+        print("%-40s %-7s %-20s %s" % ("run id", "kind", "created",
+                                       "workloads"))
+        for entry in entries:
+            print("%-40s %-7s %-20s %s" % (
+                entry.get("run_id", "?"), entry.get("kind", "?"),
+                entry.get("created", "?"),
+                ",".join(entry.get("workloads", [])),
+            ))
+        return 0
+    if args.verb == "show":
+        try:
+            manifest = ledger.load(args.ref)
+        except (FileNotFoundError, ValueError) as exc:
+            parser.error(str(exc))
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.verb == "compare":
+        try:
+            base = ledger.load(args.base)
+            new = ledger.load(args.new)
+        except (FileNotFoundError, ValueError) as exc:
+            parser.error(str(exc))
+        metrics = tuple(
+            m.strip() for m in args.metrics.split(",") if m.strip()
+        )
+        unknown = set(metrics) - {"time", "energy", "edp"}
+        if unknown:
+            parser.error("unknown metrics: %s" % ", ".join(sorted(unknown)))
+        comparison = compare_runs(
+            base, new, threshold_pct=args.threshold, metrics=metrics,
+        )
+        print(render_comparison(comparison))
+        return 0 if comparison.ok else 1
+    # record
+    for name in args.workloads:
+        try:
+            workload_by_name(name)
+        except KeyError:
+            parser.error(
+                "unknown workload %r; choose from: %s"
+                % (name, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+            )
+    print("profiling %s (scale %d, jobs %d)..."
+          % (",".join(args.workloads) or "all workloads",
+             args.scale, args.jobs),
+          file=sys.stderr)
+    result = run_experiment(
+        _spec_from_args(args, workloads=tuple(args.workloads))
+    )
+    _report_engine(result, file=sys.stderr)
+    manifest, path = record_run(result, ledger=ledger)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    print("recorded %s -> %s" % (manifest.run_id, path))
     return 0
 
 

@@ -32,7 +32,11 @@ from typing import Mapping, Optional, Union
 
 from ..deprecation import warn_once
 from ..engine import ExperimentSpec, WorkloadRun, run_experiment
+from ..engine.cache import _config_material, cache_key
 from ..engine.spec import EngineResult
+from ..obs.ledger import RunLedger, RunManifest
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.timeline import energy_attribution
 from ..power.frequency import FixedPolicy, FrequencyPolicy
 from ..runtime.scheduler import DAEScheduler, ScheduleResult
 from ..runtime.task import Scheme
@@ -146,6 +150,104 @@ def relative_metrics(result: ScheduleResult,
         "energy": rs["energy_j"] / bs["energy_j"],
         "edp": rs["edp_js"] / bs["edp_js"],
     }
+
+
+# -- run-ledger manifests ------------------------------------------------------
+
+#: The run-ledger schedule configurations, as (label, profile stream,
+#: run scheme, policy name).  The first entry — coupled execution at
+#: max frequency — is the ``relative_metrics`` baseline for the rest.
+MANIFEST_CONFIGS = (
+    ("CAE (Max f.)", Scheme.CAE, Scheme.CAE, "fmax"),
+    ("Compiler DAE (Optimal f.)", Scheme.DAE, Scheme.DAE, "optimal"),
+    ("Manual DAE (Optimal f.)", Scheme.MANUAL, Scheme.DAE, "optimal"),
+)
+
+
+def _spec_document(spec: ExperimentSpec, workload_names: list) -> dict:
+    """The manifest's ``spec`` section: the knobs that determine the
+    simulated results, plus a content hash over exactly those knobs
+    (execution knobs like ``jobs``/``cache`` are recorded but excluded
+    from the hash — they cannot change any number)."""
+    material = {
+        "kind": "run-manifest-spec",
+        "scale": spec.scale,
+        "schemes": [s.value for s in spec.schemes],
+        "config": _config_material(spec.config),
+        "workloads": list(workload_names),
+        "manifest_configs": [
+            [label, stream.value, scheme.value, policy]
+            for label, stream, scheme, policy in MANIFEST_CONFIGS
+        ],
+    }
+    return {
+        "key": cache_key(material),
+        "scale": spec.scale,
+        "schemes": [s.value for s in spec.schemes],
+        "interp": spec.interp,
+        "jobs": spec.jobs,
+        "cache": spec.cache,
+        "workloads": list(workload_names),
+    }
+
+
+def build_run_manifest(result: EngineResult, kind: str = "engine",
+                       config: Optional[MachineConfig] = None,
+                       registry: Optional[MetricsRegistry] = None,
+                       ) -> RunManifest:
+    """Build a run-ledger manifest from one engine result.
+
+    Schedules every workload under :data:`MANIFEST_CONFIGS` (timelines
+    on), capturing per configuration the ``summary()``, the metrics
+    relative to the CAE@fmax baseline, and the energy-attribution tree.
+    ``registry`` defaults to the process-global metrics registry, whose
+    snapshot (engine pool/cache telemetry) rides along.
+    """
+    config = config or result.spec.config
+    registry = get_registry() if registry is None else registry
+    manifest = RunManifest(kind=kind)
+    manifest.spec = _spec_document(result.spec, list(result))
+    manifest.stats = result.stats.as_dict()
+    manifest.metrics = registry.snapshot()
+    for name, run in result.items():
+        schedules: dict = {}
+        baseline: Optional[ScheduleResult] = None
+        for label, stream, scheme, policy in MANIFEST_CONFIGS:
+            scheduler = DAEScheduler(config)
+            scheduled = scheduler.run(
+                run.profiles[stream.value].tasks, scheme,
+                FrequencyPolicy.from_name(policy, config),
+                record_timeline=True,
+            )
+            if baseline is None:
+                baseline = scheduled
+            schedules[label] = {
+                "summary": scheduled.summary(),
+                "relative_metrics": relative_metrics(scheduled, baseline),
+                "energy": energy_attribution(scheduled.timeline),
+            }
+        manifest.workloads[name] = {
+            "task_count": run.task_count,
+            "from_cache": run.from_cache,
+            "schedules": schedules,
+        }
+    return manifest
+
+
+def record_run(result: EngineResult,
+               ledger: Optional[Union[RunLedger, str]] = None,
+               kind: str = "engine",
+               config: Optional[MachineConfig] = None):
+    """Build a manifest for ``result`` and append it to the ledger.
+
+    ``ledger`` is a :class:`RunLedger`, a directory path, or ``None``
+    for the default location.  Returns ``(manifest, path)``.
+    """
+    if not isinstance(ledger, RunLedger):
+        ledger = RunLedger(ledger)
+    manifest = build_run_manifest(result, kind=kind, config=config)
+    path = ledger.record(manifest)
+    return manifest, path
 
 
 # -- Table 1 ------------------------------------------------------------------

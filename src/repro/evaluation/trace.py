@@ -21,19 +21,16 @@ from typing import Optional
 from .. import obs
 from ..power.frequency import FrequencyPolicy
 from ..runtime.scheduler import DAEScheduler, ScheduleResult
-from ..runtime.task import Scheme
 from ..sim.config import MachineConfig
 from ..transform.access_phase import AccessPhaseOptions
 from ..workloads import workload_by_name
-from .experiments import WorkloadRun, run_workload
+from .experiments import MANIFEST_CONFIGS, WorkloadRun, run_workload
 
 #: (label, profile stream, run scheme, policy name) — the headline
-#: pairing plus its baseline, traced by default.
-TRACE_CONFIGS = (
-    ("CAE (Max f.)", Scheme.CAE, Scheme.CAE, "fmax"),
-    ("Compiler DAE (Optimal f.)", Scheme.DAE, Scheme.DAE, "optimal"),
-    ("Manual DAE (Optimal f.)", Scheme.MANUAL, Scheme.DAE, "optimal"),
-)
+#: pairing plus its baseline, traced by default.  Identical to the run
+#: ledger's schedule configurations, so traces and manifests describe
+#: the same runs.
+TRACE_CONFIGS = MANIFEST_CONFIGS
 
 
 @dataclass

@@ -76,6 +76,7 @@ def _timeline_to_chrome(timeline: Timeline, pid: int) -> List[Dict[str, Any]]:
     out: List[Dict[str, Any]] = [_meta(pid, label)]
     for core in sorted({s.core for s in timeline.segments}):
         out.append(_meta(pid, "core %d" % core, tid=core, what="thread_name"))
+    cumulative_nj: Dict[int, float] = {}
     for segment in timeline.segments:
         entry: Dict[str, Any] = {
             "name": segment.kind if not segment.task
@@ -93,6 +94,27 @@ def _timeline_to_chrome(timeline: Timeline, pid: int) -> List[Dict[str, Any]]:
         if segment.freq_ghz:
             entry["args"]["freq_ghz"] = segment.freq_ghz
         out.append(entry)
+        # Priced segments additionally feed per-core counter tracks:
+        # instantaneous power at the segment start and the running
+        # energy total at its end (step charts in Perfetto).
+        if segment.energy is None:
+            continue
+        total = cumulative_nj.get(segment.core, 0.0) + (
+            segment.energy.energy_nj
+        )
+        cumulative_nj[segment.core] = total
+        out.append({
+            "name": "power core %d" % segment.core,
+            "cat": "sim.energy", "ph": "C", "pid": pid, "tid": segment.core,
+            "ts": segment.start_ns / 1000.0,
+            "args": {"watts": segment.energy.power_w},
+        })
+        out.append({
+            "name": "energy core %d" % segment.core,
+            "cat": "sim.energy", "ph": "C", "pid": pid, "tid": segment.core,
+            "ts": segment.end_ns / 1000.0,
+            "args": {"uJ": total / 1e3},
+        })
     return out
 
 

@@ -1,0 +1,406 @@
+"""The run ledger: persistent, append-only manifests of every run.
+
+The paper's headline claims are *energy* claims, so "did PR N regress
+EDP on cg?" must be answerable without rerunning anything.  Every
+engine, tune, or trace run can be recorded as one JSON **manifest**
+under ``$REPRO_CACHE_DIR/runs/`` (default ``~/.cache/repro-dae/runs``):
+the spec digest, scheme/interp choices, wall and simulated time, engine
+cache statistics, a metrics-registry snapshot, and — per workload ×
+schedule configuration — the schedule summary, the metrics relative to
+the CAE@fmax baseline, and the hierarchical energy-attribution tree
+(:func:`~repro.obs.timeline.energy_attribution`).
+
+The ledger itself is append-only: manifests are immutable files named
+by run id, plus an ``index.jsonl`` with one summary line per run for
+fast listing.  :func:`compare_runs` diffs two manifests workload by
+workload (time / energy / EDP per schedule configuration) against
+configurable thresholds and :func:`render_comparison` renders the
+result as a markdown regression report — CI runs it against a committed
+baseline manifest and fails on regression.
+
+Layering note: this module knows nothing about the engine, scheduler,
+or tuner — manifests are plain data built by the evaluation layer
+(:func:`repro.evaluation.experiments.build_run_manifest`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "RunManifest",
+    "RunLedger",
+    "MetricDelta",
+    "RunComparison",
+    "compare_runs",
+    "render_comparison",
+    "ledger_root",
+]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_FORMAT = 1
+
+#: Subdirectory of the profile-cache root holding the ledger.
+RUNS_SUBDIR = "runs"
+
+#: Schedule-summary metrics compared by :func:`compare_runs`, as
+#: (short name, summary key).  For all three, larger is worse.
+COMPARED_METRICS = (
+    ("time", "time_s"),
+    ("energy", "energy_j"),
+    ("edp", "edp_js"),
+)
+
+
+def ledger_root(root: Optional[Union[str, Path]] = None) -> Path:
+    """Resolve the ledger directory.
+
+    Explicit ``root`` wins; otherwise the ``runs/`` subdirectory of the
+    profile-cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dae``).
+    """
+    if root is not None:
+        return Path(root).expanduser()
+    from ..engine.cache import DEFAULT_CACHE_DIR, ENV_CACHE_DIR
+    base = os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+    return Path(base).expanduser() / RUNS_SUBDIR
+
+
+@dataclass
+class RunManifest:
+    """One recorded run: everything needed to audit or diff it later.
+
+    ``workloads`` maps workload name to::
+
+        {"task_count": int, "from_cache": bool,
+         "schedules": {label: {"summary": ScheduleResult.summary(),
+                               "relative_metrics": {time,energy,edp},
+                               "energy": energy_attribution(timeline)}}}
+    """
+
+    run_id: str = ""
+    kind: str = "engine"          # engine | tune | trace
+    created: str = ""             # ISO-8601 UTC wall-clock
+    spec: Dict[str, Any] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    workloads: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "created": self.created,
+            "spec": self.spec,
+            "stats": self.stats,
+            "metrics": self.metrics,
+            "workloads": self.workloads,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunManifest":
+        if doc.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                "manifest format %r does not match %d"
+                % (doc.get("format"), MANIFEST_FORMAT)
+            )
+        return cls(
+            run_id=str(doc.get("run_id", "")),
+            kind=str(doc.get("kind", "engine")),
+            created=str(doc.get("created", "")),
+            spec=dict(doc.get("spec") or {}),
+            stats=dict(doc.get("stats") or {}),
+            metrics=dict(doc.get("metrics") or {}),
+            workloads=dict(doc.get("workloads") or {}),
+        )
+
+    def summary_line(self) -> Dict[str, Any]:
+        """The compact index entry for ``runs list``."""
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "created": self.created,
+            "workloads": sorted(self.workloads),
+            "spec_key": self.spec.get("key", ""),
+        }
+
+
+def _utc_now() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+class RunLedger:
+    """Append-only store of :class:`RunManifest` files plus an index.
+
+    Every write is additive: one immutable ``<run_id>.json`` per run
+    and one appended line in ``index.jsonl``.  Nothing here ever
+    rewrites or deletes an entry.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = ledger_root(root)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.jsonl"
+
+    def path_for(self, run_id: str) -> Path:
+        return self.root / ("%s.json" % run_id)
+
+    # -- recording -------------------------------------------------------------
+
+    def new_run_id(self, kind: str, spec_key: str = "",
+                   now: Optional[datetime] = None) -> str:
+        """A unique, sortable id: ``<utc stamp>-<kind>[-<key8>][-n]``."""
+        stamp = (now or _utc_now()).strftime("%Y%m%dT%H%M%S")
+        base = "%s-%s" % (stamp, kind)
+        if spec_key:
+            base += "-%s" % spec_key[:8]
+        run_id = base
+        suffix = 1
+        while self.path_for(run_id).exists():
+            run_id = "%s-%d" % (base, suffix)
+            suffix += 1
+        return run_id
+
+    def record(self, manifest: RunManifest) -> Path:
+        """Persist ``manifest`` (assigning ``run_id``/``created`` if
+        unset) and append it to the index.  Returns the manifest path."""
+        if not manifest.created:
+            manifest.created = _utc_now().isoformat(timespec="seconds")
+        if not manifest.run_id:
+            manifest.run_id = self.new_run_id(
+                manifest.kind, manifest.spec.get("key", "")
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(manifest.run_id)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with open(tmp, "w") as handle:
+            json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        with open(self.index_path, "a") as handle:
+            handle.write(json.dumps(
+                manifest.summary_line(), sort_keys=True,
+                separators=(",", ":"),
+            ) + "\n")
+        return path
+
+    # -- reading ---------------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Index lines, oldest first (tolerates a torn final line)."""
+        out: List[Dict[str, Any]] = []
+        try:
+            with open(self.index_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        out.append(json.loads(line))
+                    except ValueError:
+                        continue
+        except FileNotFoundError:
+            pass
+        return out
+
+    def run_ids(self) -> List[str]:
+        return [entry["run_id"] for entry in self.entries()
+                if entry.get("run_id")]
+
+    def load(self, ref: str) -> RunManifest:
+        """Resolve ``ref`` to a manifest.
+
+        Accepted forms, in order: a path to a manifest JSON file, the
+        literal ``latest`` (newest ledger entry), an exact run id, or a
+        unique run-id prefix.
+        """
+        as_path = Path(ref).expanduser()
+        if as_path.is_file():
+            return self._load_path(as_path)
+        ids = self.run_ids()
+        if ref == "latest":
+            if not ids:
+                raise FileNotFoundError(
+                    "ledger at %s has no runs" % self.root
+                )
+            return self._load_path(self.path_for(ids[-1]))
+        if self.path_for(ref).is_file():
+            return self._load_path(self.path_for(ref))
+        matches = [run_id for run_id in ids if run_id.startswith(ref)]
+        if len(matches) == 1:
+            return self._load_path(self.path_for(matches[0]))
+        if len(matches) > 1:
+            raise ValueError(
+                "run ref %r is ambiguous: %s" % (ref, ", ".join(matches))
+            )
+        raise FileNotFoundError(
+            "no run %r in ledger %s (and no such file)" % (ref, self.root)
+        )
+
+    @staticmethod
+    def _load_path(path: Path) -> RunManifest:
+        with open(path) as handle:
+            return RunManifest.from_dict(json.load(handle))
+
+
+# -- comparison ----------------------------------------------------------------
+
+
+@dataclass
+class MetricDelta:
+    """One (workload, configuration, metric) difference."""
+
+    workload: str
+    label: str              # schedule configuration label
+    metric: str             # time | energy | edp
+    base: float
+    new: float
+
+    @property
+    def pct(self) -> float:
+        """Signed percentage change; +inf when appearing from zero."""
+        if self.base == 0.0:
+            return 0.0 if self.new == 0.0 else float("inf")
+        return 100.0 * (self.new / self.base - 1.0)
+
+    def regressed(self, threshold_pct: float) -> bool:
+        return self.pct > threshold_pct
+
+
+@dataclass
+class RunComparison:
+    """Everything :func:`compare_runs` found."""
+
+    base_id: str
+    new_id: str
+    threshold_pct: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Workloads/configurations present in one manifest only.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(self.threshold_pct)]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.pct < -self.threshold_pct]
+
+    @property
+    def identical(self) -> bool:
+        return not self.missing and all(d.pct == 0.0 for d in self.deltas)
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no regressions and nothing disappeared."""
+        return not self.regressions and not self.missing
+
+
+def compare_runs(base: RunManifest, new: RunManifest,
+                 threshold_pct: float = 5.0,
+                 metrics: Sequence[str] = ("time", "energy", "edp"),
+                 ) -> RunComparison:
+    """Diff two manifests' per-workload schedule summaries.
+
+    Only simulation-derived quantities are compared (time / energy /
+    EDP per workload × configuration); wall-clock fields, cache
+    statistics, and run metadata never affect the verdict, so two runs
+    of the same spec always compare clean.
+    """
+    wanted = {name: key for name, key in COMPARED_METRICS
+              if name in metrics}
+    comparison = RunComparison(
+        base_id=base.run_id, new_id=new.run_id, threshold_pct=threshold_pct,
+    )
+    for workload in sorted(set(base.workloads) | set(new.workloads)):
+        base_entry = base.workloads.get(workload)
+        new_entry = new.workloads.get(workload)
+        if base_entry is None or new_entry is None:
+            comparison.missing.append(
+                "%s (only in %s)" % (
+                    workload,
+                    comparison.new_id if base_entry is None
+                    else comparison.base_id,
+                )
+            )
+            continue
+        base_schedules = base_entry.get("schedules", {})
+        new_schedules = new_entry.get("schedules", {})
+        for label in sorted(set(base_schedules) | set(new_schedules)):
+            if label not in base_schedules or label not in new_schedules:
+                comparison.missing.append("%s / %s" % (workload, label))
+                continue
+            base_summary = base_schedules[label].get("summary", {})
+            new_summary = new_schedules[label].get("summary", {})
+            for name, key in wanted.items():
+                comparison.deltas.append(MetricDelta(
+                    workload=workload, label=label, metric=name,
+                    base=float(base_summary.get(key, 0.0)),
+                    new=float(new_summary.get(key, 0.0)),
+                ))
+    return comparison
+
+
+def _fmt_pct(pct: float) -> str:
+    if pct == float("inf"):
+        return "+inf%"
+    return "%+.2f%%" % pct
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """The ``runs compare`` markdown regression report."""
+    lines = [
+        "# Run comparison: `%s` → `%s`" % (
+            comparison.base_id or "?", comparison.new_id or "?",
+        ),
+        "",
+        "- threshold: %.2f%% (a metric growing past this is a regression)"
+        % comparison.threshold_pct,
+        "- metrics compared: %d" % len(comparison.deltas),
+        "- regressions: %d" % len(comparison.regressions),
+        "- improvements (beyond threshold): %d"
+        % len(comparison.improvements),
+    ]
+    if comparison.missing:
+        lines.append("- missing entries: %s" % "; ".join(comparison.missing))
+    lines.append("")
+    if comparison.identical:
+        lines += [
+            "All compared metrics are identical.",
+            "",
+            "Verdict: **PASS**",
+        ]
+        return "\n".join(lines)
+    changed = [d for d in comparison.deltas if d.pct != 0.0]
+    if changed:
+        lines += [
+            "| workload | configuration | metric | base | new | delta | |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        order = {"time": 0, "energy": 1, "edp": 2}
+        changed.sort(key=lambda d: (-abs(d.pct) if d.pct != float("inf")
+                                    else float("-inf"),
+                                    d.workload, d.label, order[d.metric]))
+        for delta in changed:
+            flag = ""
+            if delta.regressed(comparison.threshold_pct):
+                flag = "**REGRESSION**"
+            elif delta.pct < -comparison.threshold_pct:
+                flag = "improved"
+            lines.append("| %s | %s | %s | %.6g | %.6g | %s | %s |" % (
+                delta.workload, delta.label, delta.metric,
+                delta.base, delta.new, _fmt_pct(delta.pct), flag,
+            ))
+    else:
+        lines.append("No metric changed (missing entries only).")
+    verdict = "PASS" if comparison.ok else "FAIL"
+    lines += ["", "Verdict: **%s**" % verdict]
+    return "\n".join(lines)

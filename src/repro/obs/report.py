@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from .events import Event
-from .timeline import SEGMENT_KINDS, Timeline
+from .timeline import SEGMENT_KINDS, Timeline, energy_attribution
 
 __all__ = [
     "render_compiler_decisions",
@@ -22,6 +22,7 @@ __all__ = [
     "render_pass_summary",
     "render_phase_breakdown",
     "render_timeline_breakdown",
+    "render_energy_breakdown",
     "render_warnings",
     "explain_report",
 ]
@@ -107,9 +108,10 @@ def render_phase_breakdown(label: str, summary: Dict[str, Any]) -> str:
         "  time  %.3f us   energy  %.3f uJ   EDP  %.3e Js" % (
             time_s * 1e6, energy_j * 1e6, summary.get("edp_js", 0.0),
         ),
-        "  tasks %d   steals %d   dvfs transitions %d" % (
+        "  tasks %d   steals %d   dvfs transitions %d (%.3f uJ)" % (
             summary.get("tasks_run", 0), summary.get("steals", 0),
             summary.get("transitions", 0),
+            (summary.get("transition_j", 0.0) or 0.0) * 1e6,
         ),
     ]
     rows = (
@@ -158,6 +160,51 @@ def render_timeline_breakdown(timeline: Timeline) -> str:
     return "\n".join(lines)
 
 
+def _energy_row(label: str, node: Dict[str, Any]) -> str:
+    energy_nj = node.get("energy_nj", 0.0)
+    return "  %-24s %12.3f %12.3f %12.3f %12.3f %12.3f" % (
+        label,
+        node.get("time_ns", 0.0) / 1e3,
+        energy_nj / 1e3,
+        node.get("dynamic_nj", 0.0) / 1e3,
+        node.get("static_nj", 0.0) / 1e3,
+        node.get("transition_nj", 0.0) / 1e3,
+    )
+
+
+def render_energy_breakdown(attribution: Dict[str, Any]) -> str:
+    """Where the joules went: the task → phase → component roll-up.
+
+    ``attribution`` is :func:`~repro.obs.timeline.energy_attribution`
+    output (also what run-ledger manifests persist): totals plus a
+    per-task tree of phase kinds and a per-core table, each split into
+    dynamic / static / transition energy.
+    """
+    lines = [
+        "Energy attribution (scheme=%s, policy=%s)" % (
+            attribution.get("scheme") or "?", attribution.get("policy") or "?",
+        ),
+        "  %-24s %12s %12s %12s %12s %12s" % (
+            "", "time us", "energy uJ", "dynamic", "static", "transition",
+        ),
+        _energy_row("total", attribution),
+    ]
+    for task in sorted(attribution.get("tasks", {})):
+        node = attribution["tasks"][task]
+        lines.append(_energy_row(task, node))
+        for kind in SEGMENT_KINDS:
+            phase = node.get("phases", {}).get(kind)
+            if phase is None:
+                continue
+            lines.append(_energy_row("  " + kind, phase))
+    cores = attribution.get("cores", {})
+    if cores:
+        lines.append("  %-24s" % "per core:")
+        for core in sorted(cores, key=lambda c: int(c)):
+            lines.append(_energy_row("  core %s" % core, cores[core]))
+    return "\n".join(lines)
+
+
 def render_warnings(events: Iterable[Event]) -> str:
     warnings = [
         e for e in events
@@ -189,6 +236,10 @@ def explain_report(app: str, events: Iterable[Event],
         sections.append(render_phase_breakdown(label, summary))
     for timeline in timelines or ():
         sections.append(render_timeline_breakdown(timeline))
+        if any(s.energy is not None for s in timeline.segments):
+            sections.append(
+                render_energy_breakdown(energy_attribution(timeline))
+            )
     warnings = render_warnings(events)
     if warnings:
         sections.append(warnings)

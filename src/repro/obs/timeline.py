@@ -12,17 +12,55 @@ non-overlapping, start at 0, abut exactly, and end at the schedule's
 total time — so the per-core durations always sum to the run's
 ``time_ns``.  This is what makes Figure-4-style breakdowns auditable
 from the trace instead of recomputed ad hoc.
+
+Since the energy-attribution work, every segment the scheduler records
+also carries an :class:`~repro.power.model.EnergyBreakdown` — the exact
+dynamic/static/transition energy the scheduler charged for that stretch
+of time.  :meth:`Timeline.bucket_energy_nj` re-derives the schedule's
+Prefetch/Task/O.S.I. energy buckets from the segments alone, summing in
+emission order so the totals are *bit-identical* to the
+``ScheduleResult`` the run produced, and :func:`energy_attribution`
+rolls the segments up into a task → phase tree for reports, manifests
+and the run ledger.
+
+A DVFS switch whose visible latency is fully hidden behind in-flight
+prefetches still burns its static ramp energy, so hidden switches are
+recorded as zero-duration ``switch`` segments: they cost no time (the
+coverage invariant is unaffected) but carry their full transition
+energy, keeping the energy roll-up exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
-__all__ = ["TimelineSegment", "Timeline", "SEGMENT_KINDS"]
+from ..power.model import EnergyBreakdown
+
+__all__ = [
+    "TimelineSegment",
+    "Timeline",
+    "SEGMENT_KINDS",
+    "energy_attribution",
+]
 
 #: Everything a core can be doing, in display order.
 SEGMENT_KINDS = ("access", "execute", "switch", "steal", "overhead", "idle")
+
+#: Which schedule bucket each segment kind's energy lands in (steals
+#: execute queue bookkeeping only and are charged no energy).
+KIND_BUCKETS = {
+    "access": "prefetch",
+    "execute": "task",
+    "switch": "osi",
+    "overhead": "osi",
+    "idle": "osi",
+    "steal": "osi",
+}
+
+#: Attribution label for segments that belong to no task (steals,
+#: DVFS switches, idle tails).
+RUNTIME_TASK = "(runtime)"
 
 
 @dataclass
@@ -35,10 +73,17 @@ class TimelineSegment:
     end_ns: float
     task: str = ""       # task-kind name for access/execute segments
     freq_ghz: float = 0.0
+    #: Energy charged for this segment, split dynamic/static/transition.
+    #: ``None`` for hand-built timelines that never priced their time.
+    energy: Optional[EnergyBreakdown] = None
 
     @property
     def dur_ns(self) -> float:
         return self.end_ns - self.start_ns
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.energy_nj if self.energy is not None else 0.0
 
 
 @dataclass
@@ -50,12 +95,13 @@ class Timeline:
     segments: List[TimelineSegment] = field(default_factory=list)
 
     def add(self, core: int, kind: str, start_ns: float, end_ns: float,
-            task: str = "", freq_ghz: float = 0.0) -> None:
+            task: str = "", freq_ghz: float = 0.0,
+            energy: Optional[EnergyBreakdown] = None) -> None:
         if kind not in SEGMENT_KINDS:
             raise ValueError("unknown segment kind %r" % kind)
         self.segments.append(TimelineSegment(
             core=core, kind=kind, start_ns=start_ns, end_ns=end_ns,
-            task=task, freq_ghz=freq_ghz,
+            task=task, freq_ghz=freq_ghz, energy=energy,
         ))
 
     def per_core(self) -> Dict[int, List[TimelineSegment]]:
@@ -78,6 +124,38 @@ class Timeline:
             totals[segment.kind] += segment.dur_ns
         return totals
 
+    # -- energy roll-ups -------------------------------------------------------
+
+    def bucket_energy_nj(self) -> Tuple[float, float, float]:
+        """(prefetch_nj, task_nj, osi_nj) re-derived from the segments.
+
+        Each bucket accumulates its segments' energies in emission
+        order — the same floats added in the same order as the
+        scheduler's own bucket accounting — so the triple (and its sum)
+        is bit-identical to ``ScheduleResult.buckets`` /
+        ``ScheduleResult.energy_nj``, not merely approximately equal.
+        """
+        prefetch_nj = 0.0
+        task_nj = 0.0
+        osi_nj = 0.0
+        for segment in self.segments:
+            if segment.energy is None:
+                continue
+            bucket = KIND_BUCKETS[segment.kind]
+            if bucket == "prefetch":
+                prefetch_nj += segment.energy.energy_nj
+            elif bucket == "task":
+                task_nj += segment.energy.energy_nj
+            else:
+                osi_nj += segment.energy.energy_nj
+        return prefetch_nj, task_nj, osi_nj
+
+    def energy_total_nj(self) -> float:
+        """Total energy across all segments, summed exactly like the
+        scheduler sums its buckets (prefetch + task + osi)."""
+        prefetch_nj, task_nj, osi_nj = self.bucket_energy_nj()
+        return prefetch_nj + task_nj + osi_nj
+
     def validate(self, total_ns: float, tol_ns: float = 1e-6) -> None:
         """Assert the coverage invariant (see module docstring)."""
         for core, segments in self.per_core().items():
@@ -98,3 +176,70 @@ class Timeline:
                     "core %d covers %.3f ns, schedule ran %.3f ns"
                     % (core, clock, total_ns)
                 )
+
+    def validate_energy(self, energy_nj: float, tol_nj: float = 1.0) -> None:
+        """Assert per-segment energies sum to the schedule's total.
+
+        The default tolerance is 1 nJ = 1e-9 J; the roll-up is in fact
+        bit-exact (see :meth:`bucket_energy_nj`), the tolerance only
+        keeps the assertion meaningful for callers that re-derive the
+        expectation some other way.
+        """
+        total = self.energy_total_nj()
+        if abs(total - energy_nj) > tol_nj:
+            raise AssertionError(
+                "segments carry %.6f nJ, schedule charged %.6f nJ"
+                % (total, energy_nj)
+            )
+
+
+def _node() -> Dict[str, float]:
+    return {
+        "time_ns": 0.0, "energy_nj": 0.0,
+        "dynamic_nj": 0.0, "static_nj": 0.0, "transition_nj": 0.0,
+    }
+
+
+def _accumulate(node: Dict[str, float], segment: TimelineSegment) -> None:
+    energy = segment.energy
+    node["time_ns"] += segment.dur_ns
+    if energy is None:
+        return
+    node["energy_nj"] += energy.energy_nj
+    node["dynamic_nj"] += energy.dynamic_nj
+    node["static_nj"] += energy.static_nj
+    node["transition_nj"] += energy.transition_nj
+
+
+def energy_attribution(timeline: Timeline) -> Dict[str, Any]:
+    """Hierarchical "where did the joules go" tree for one schedule.
+
+    Rolls the timeline's per-segment :class:`EnergyBreakdown` up three
+    ways — total, per task → per phase kind, and per core — each node
+    carrying the (time, energy, dynamic, static, transition) split.
+    Segments owned by no task (steals, switches, idle tails) group
+    under :data:`RUNTIME_TASK`.  The tree is plain JSON-able data: it
+    is what run manifests persist and what
+    :func:`~repro.obs.report.render_energy_breakdown` renders.
+    """
+    total = _node()
+    tasks: Dict[str, Dict[str, Any]] = {}
+    cores: Dict[int, Dict[str, float]] = {}
+    for segment in timeline.segments:
+        _accumulate(total, segment)
+        task = segment.task or RUNTIME_TASK
+        entry = tasks.setdefault(task, {"phases": {}, **_node()})
+        _accumulate(entry, segment)
+        phase = entry["phases"].setdefault(segment.kind, _node())
+        _accumulate(phase, segment)
+        core = cores.setdefault(segment.core, _node())
+        _accumulate(core, segment)
+    return {
+        "scheme": timeline.scheme,
+        "policy": timeline.policy,
+        **total,
+        "tasks": {name: tasks[name] for name in sorted(tasks)},
+        "cores": {
+            str(core): cores[core] for core in sorted(cores)
+        },
+    }

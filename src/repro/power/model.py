@@ -50,14 +50,29 @@ def total_power(point: OperatingPoint, ipc: float, active_cores: int,
 
 @dataclass
 class EnergyBreakdown:
-    """Time/energy of one phase or schedule segment."""
+    """Time/energy of one phase or schedule segment.
+
+    ``energy_nj`` is the authoritative total (computed exactly as the
+    scheduler's bucket accounting always has); the ``dynamic_nj`` /
+    ``static_nj`` / ``transition_nj`` components attribute it.  The
+    components sum to ``energy_nj`` up to float rounding — the total is
+    never *derived* from them, so bucket roll-ups stay bit-identical to
+    :class:`~repro.runtime.scheduler.ScheduleResult` totals.
+    """
 
     time_ns: float = 0.0
     energy_nj: float = 0.0
+    dynamic_nj: float = 0.0      # switching energy (Ceff * f * V^2)
+    static_nj: float = 0.0       # leakage while executing/idling
+    transition_nj: float = 0.0   # static energy burned in DVFS ramps
 
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
         return EnergyBreakdown(
-            self.time_ns + other.time_ns, self.energy_nj + other.energy_nj
+            self.time_ns + other.time_ns,
+            self.energy_nj + other.energy_nj,
+            self.dynamic_nj + other.dynamic_nj,
+            self.static_nj + other.static_nj,
+            self.transition_nj + other.transition_nj,
         )
 
     @property
@@ -66,15 +81,36 @@ class EnergyBreakdown:
             return 0.0
         return self.energy_nj / self.time_ns  # nJ/ns == W
 
+    def as_dict(self) -> dict:
+        return {
+            "time_ns": self.time_ns,
+            "energy_nj": self.energy_nj,
+            "dynamic_nj": self.dynamic_nj,
+            "static_nj": self.static_nj,
+            "transition_nj": self.transition_nj,
+        }
+
+
+def static_energy(time_ns: float, power_w: float) -> EnergyBreakdown:
+    """A static-only stretch (dispatch overhead, sleep) at ``power_w``."""
+    energy_nj = power_w * time_ns
+    return EnergyBreakdown(
+        time_ns=time_ns, energy_nj=energy_nj, static_nj=energy_nj
+    )
+
 
 def phase_energy(time_ns: float, point: OperatingPoint, ipc: float,
                  config: MachineConfig, active_cores: int = 1) -> EnergyBreakdown:
     """Energy of one phase on ``active_cores`` cores (nJ = W * ns)."""
-    power = (
-        dynamic_power(point, ipc, config) * active_cores
-        + static_power(point, active_cores, config)
+    dynamic_w = dynamic_power(point, ipc, config) * active_cores
+    static_w = static_power(point, active_cores, config)
+    power = dynamic_w + static_w
+    return EnergyBreakdown(
+        time_ns=time_ns,
+        energy_nj=power * time_ns,
+        dynamic_nj=dynamic_w * time_ns,
+        static_nj=static_w * time_ns,
     )
-    return EnergyBreakdown(time_ns=time_ns, energy_nj=power * time_ns)
 
 
 def transition_energy(config: MachineConfig, point: OperatingPoint,
@@ -86,7 +122,10 @@ def transition_energy(config: MachineConfig, point: OperatingPoint,
     """
     time_ns = config.dvfs_transition_ns
     power = static_power(point, active_cores, config)
-    return EnergyBreakdown(time_ns=time_ns, energy_nj=power * time_ns)
+    energy_nj = power * time_ns
+    return EnergyBreakdown(
+        time_ns=time_ns, energy_nj=energy_nj, transition_nj=energy_nj
+    )
 
 
 def edp(time_ns: float, energy_nj: float) -> float:

@@ -29,7 +29,13 @@ from typing import Optional, Union
 from ..obs.events import get_collector
 from ..obs.timeline import Timeline
 from ..power.frequency import FrequencyPolicy
-from ..power.model import phase_energy, static_power, transition_energy
+from ..power.model import (
+    EnergyBreakdown,
+    phase_energy,
+    static_energy,
+    static_power,
+    transition_energy,
+)
 from ..sim.config import MachineConfig, OperatingPoint
 from .task import Scheme, TaskProfile
 
@@ -56,6 +62,11 @@ class ScheduleResult:
     energy_nj: float = 0.0
     buckets: ScheduleBuckets = field(default_factory=ScheduleBuckets)
     transitions: int = 0
+    #: Static energy burned in DVFS ramps.  Charged inside the O.S.I.
+    #: bucket (as always) but tracked explicitly so summaries and
+    #: explain reports can show the transition component instead of
+    #: folding it invisibly into the totals.
+    transition_nj: float = 0.0
     steals: int = 0
     tasks_run: int = 0
     #: Per-core activity timeline; only recorded when observability is
@@ -87,6 +98,7 @@ class ScheduleResult:
             "tasks_run": self.tasks_run,
             "steals": self.steals,
             "transitions": self.transitions,
+            "transition_j": self.transition_nj * 1e-9,
             "buckets": {
                 "prefetch_s": buckets.prefetch_ns * 1e-9,
                 "task_s": buckets.task_ns * 1e-9,
@@ -162,7 +174,14 @@ class DAEScheduler:
                 start = core.clock_ns
                 core.clock_ns += self.steal_overhead_ns
                 if timeline is not None:
-                    timeline.add(core.index, "steal", start, core.clock_ns)
+                    # Steals are queue bookkeeping: they consume time
+                    # but are charged no energy (zero breakdown).
+                    timeline.add(
+                        core.index, "steal", start, core.clock_ns,
+                        energy=EnergyBreakdown(
+                            time_ns=self.steal_overhead_ns
+                        ),
+                    )
                 result.steals += 1
             profile = core.queue.popleft()
             self._run_task(core, profile, scheme, policy, result, timeline)
@@ -173,12 +192,13 @@ class DAEScheduler:
         for core in cores:
             idle = result.time_ns - core.clock_ns
             if idle > 0:
-                idle_nj = self.sleep_power_w * idle
+                breakdown = static_energy(idle, self.sleep_power_w)
                 buckets.osi_ns += idle
-                buckets.osi_nj += idle_nj
+                buckets.osi_nj += breakdown.energy_nj
                 if timeline is not None:
                     timeline.add(
-                        core.index, "idle", core.clock_ns, result.time_ns
+                        core.index, "idle", core.clock_ns, result.time_ns,
+                        energy=breakdown,
                     )
         result.energy_nj = (
             buckets.prefetch_nj + buckets.task_nj + buckets.osi_nj
@@ -201,8 +221,8 @@ class DAEScheduler:
 
         # Dispatch overhead runs at the core's current point (or fmin).
         overhead_point = core.point or config.fmin
-        overhead_energy = static_power(overhead_point, 1, config) * (
-            self.task_overhead_ns
+        overhead = static_energy(
+            self.task_overhead_ns, static_power(overhead_point, 1, config)
         )
         start = core.clock_ns
         core.clock_ns += self.task_overhead_ns
@@ -210,9 +230,10 @@ class DAEScheduler:
             timeline.add(
                 core.index, "overhead", start, core.clock_ns,
                 task=task_name, freq_ghz=overhead_point.freq_ghz,
+                energy=overhead,
             )
         buckets.osi_ns += self.task_overhead_ns
-        buckets.osi_nj += overhead_energy
+        buckets.osi_nj += overhead.energy_nj
 
         run_access = scheme in ("dae", "manual") and profile.access is not None
         access_time = 0.0
@@ -246,6 +267,7 @@ class DAEScheduler:
                 timeline.add(
                     core.index, "access", start, core.clock_ns,
                     task=task_name, freq_ghz=access_point.freq_ghz,
+                    energy=breakdown,
                 )
             access_time = time
             buckets.prefetch_ns += time
@@ -265,6 +287,7 @@ class DAEScheduler:
             timeline.add(
                 core.index, "execute", start, core.clock_ns,
                 task=task_name, freq_ghz=execute_point.freq_ghz,
+                energy=breakdown,
             )
         buckets.task_ns += time
         buckets.task_nj += breakdown.energy_nj
@@ -285,14 +308,19 @@ class DAEScheduler:
                 visible_ns = max(0.0, visible_ns - hide_ns)
             start = core.clock_ns
             core.clock_ns += visible_ns
-            if timeline is not None and visible_ns > 0:
+            if timeline is not None:
+                # A fully-hidden switch (visible_ns == 0) still burns
+                # its ramp energy, so it is recorded as a zero-duration
+                # segment: the coverage invariant is unaffected and the
+                # energy roll-up stays exact.
                 timeline.add(
                     core.index, "switch", start, core.clock_ns,
-                    freq_ghz=point.freq_ghz,
+                    freq_ghz=point.freq_ghz, energy=breakdown,
                 )
             result.buckets.osi_ns += visible_ns
             # Static transition energy is charged in full: the regulator
             # ramps regardless of whether the core hid the latency.
             result.buckets.osi_nj += breakdown.energy_nj
+            result.transition_nj += breakdown.energy_nj
             result.transitions += 1
         core.point = point

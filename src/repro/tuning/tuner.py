@@ -204,6 +204,43 @@ class TuningResult:
             return None
         return 1.0 - self.best.value / self.phase_local.value
 
+    def manifest_entry(self) -> dict:
+        """This tuning run as one run-ledger workload entry.
+
+        The tuned pair, the phase-local baseline, and the pinned
+        reference policies each become a schedule configuration with a
+        ``summary`` in the shape ``compare_runs`` expects, so ledger
+        diffs cover tuning outcomes exactly like engine runs.
+        """
+        def entry(policy_label: str, candidate: TuningCandidate) -> dict:
+            return {
+                "summary": {
+                    "scheme": self.scheme,
+                    "policy": policy_label,
+                    "time_s": candidate.time_s,
+                    "energy_j": candidate.energy_j,
+                    "edp_js": candidate.edp_js,
+                },
+            }
+
+        schedules = {
+            "tuned": entry(self.best.label, self.best),
+            "phase-local": entry("phase-local", self.phase_local),
+        }
+        for label, candidate in sorted(self.references.items()):
+            schedules[label] = entry(label, candidate)
+        return {
+            "schedules": schedules,
+            "tuning": {
+                "objective": self.objective,
+                "strategy": self.strategy,
+                "best": self.best.label,
+                "installed": self.installed,
+                "improvement_over_phase_local":
+                    self.improvement_over_phase_local(),
+            },
+        }
+
     def as_dict(self) -> dict:
         """Deterministic JSON document (no wall-clock, no cache state —
         repeat runs of the same tuning problem byte-match)."""

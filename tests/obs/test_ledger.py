@@ -1,0 +1,219 @@
+"""The run ledger: manifests, persistence, and regression diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    MANIFEST_FORMAT,
+    MetricDelta,
+    RunLedger,
+    RunManifest,
+    compare_runs,
+    ledger_root,
+    render_comparison,
+)
+
+
+def make_manifest(run_id="", energy=2.0, time=1.0, workload="w",
+                  label="cfg") -> RunManifest:
+    return RunManifest(
+        run_id=run_id, kind="engine",
+        spec={"key": "abc123", "scale": 1},
+        stats={"cache_hits": 0},
+        metrics={},
+        workloads={
+            workload: {
+                "task_count": 4,
+                "from_cache": False,
+                "schedules": {
+                    label: {
+                        "summary": {
+                            "time_s": time,
+                            "energy_j": energy,
+                            "edp_js": time * energy,
+                        },
+                        "relative_metrics": {
+                            "time": 1.0, "energy": 1.0, "edp": 1.0,
+                        },
+                    },
+                },
+            },
+        },
+    )
+
+
+class TestManifest:
+    def test_round_trip(self):
+        manifest = make_manifest(run_id="r1")
+        again = RunManifest.from_dict(manifest.to_dict())
+        assert again.to_dict() == manifest.to_dict()
+
+    def test_format_mismatch_rejected(self):
+        doc = make_manifest().to_dict()
+        doc["format"] = MANIFEST_FORMAT + 1
+        with pytest.raises(ValueError):
+            RunManifest.from_dict(doc)
+
+    def test_summary_line(self):
+        line = make_manifest(run_id="r1").summary_line()
+        assert line["run_id"] == "r1"
+        assert line["workloads"] == ["w"]
+        assert line["spec_key"] == "abc123"
+
+
+class TestLedgerRoot:
+    def test_explicit_root_wins(self, tmp_path):
+        assert ledger_root(tmp_path) == tmp_path
+
+    def test_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert ledger_root() == tmp_path / "runs"
+
+
+class TestLedger:
+    def test_record_assigns_id_and_appends_index(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        path = ledger.record(make_manifest())
+        assert path.exists()
+        entries = ledger.entries()
+        assert len(entries) == 1
+        assert entries[0]["run_id"] == path.stem
+        # Recorded files are valid manifests.
+        RunManifest.from_dict(json.loads(path.read_text()))
+
+    def test_append_only(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        first = ledger.record(make_manifest())
+        second = ledger.record(make_manifest())
+        assert first != second
+        assert len(ledger.entries()) == 2
+        assert first.exists() and second.exists()
+
+    def test_load_by_id_prefix_latest_and_path(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(make_manifest(run_id="20250101T000000-engine-aaaa"))
+        path = ledger.record(
+            make_manifest(run_id="20250202T000000-engine-bbbb")
+        )
+        assert ledger.load(
+            "20250101T000000-engine-aaaa"
+        ).run_id.endswith("aaaa")
+        assert ledger.load("20250202").run_id.endswith("bbbb")
+        assert ledger.load("latest").run_id.endswith("bbbb")
+        assert ledger.load(str(path)).run_id.endswith("bbbb")
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(make_manifest(run_id="run-a1"))
+        ledger.record(make_manifest(run_id="run-a2"))
+        with pytest.raises(ValueError):
+            ledger.load("run-a")
+
+    def test_missing_ref_rejected(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            ledger.load("nope")
+        with pytest.raises(FileNotFoundError):
+            ledger.load("latest")
+
+    def test_colliding_run_ids_get_suffixes(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        first = RunManifest(kind="engine", spec={"key": "abc123"},
+                            created="2025-01-01T00:00:00+00:00")
+        second = RunManifest(kind="engine", spec={"key": "abc123"},
+                             created="2025-01-01T00:00:00+00:00")
+        ledger.record(first)
+        ledger.record(second)
+        assert first.run_id != second.run_id
+        assert second.run_id.startswith(first.run_id)
+
+    def test_torn_index_line_is_tolerated(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.record(make_manifest(run_id="ok"))
+        with open(ledger.index_path, "a") as handle:
+            handle.write('{"run_id": "torn')  # no newline, invalid JSON
+        assert ledger.run_ids() == ["ok"]
+
+
+class TestCompare:
+    def test_identical_runs_compare_clean(self):
+        comparison = compare_runs(
+            make_manifest(run_id="a"), make_manifest(run_id="b"),
+        )
+        assert comparison.identical
+        assert comparison.ok
+        assert not comparison.regressions
+        assert len(comparison.deltas) == 3  # time, energy, edp
+
+    def test_ten_percent_energy_inflation_is_a_regression(self):
+        base = make_manifest(run_id="a", energy=2.0)
+        new = make_manifest(run_id="b", energy=2.2)
+        comparison = compare_runs(base, new, threshold_pct=5.0)
+        assert not comparison.ok
+        regressed = {d.metric for d in comparison.regressions}
+        assert regressed == {"energy", "edp"}
+        for delta in comparison.regressions:
+            assert delta.pct == pytest.approx(10.0)
+
+    def test_threshold_gates_the_verdict(self):
+        base = make_manifest(run_id="a", energy=2.0)
+        new = make_manifest(run_id="b", energy=2.2)
+        assert compare_runs(base, new, threshold_pct=15.0).ok
+        assert not compare_runs(base, new, threshold_pct=5.0).ok
+
+    def test_improvement_is_not_a_regression(self):
+        base = make_manifest(run_id="a", time=1.0)
+        new = make_manifest(run_id="b", time=0.5)
+        comparison = compare_runs(base, new)
+        assert comparison.ok
+        assert {d.metric for d in comparison.improvements} == {"time", "edp"}
+
+    def test_metric_subset(self):
+        base = make_manifest(run_id="a", energy=2.0)
+        new = make_manifest(run_id="b", energy=2.2)
+        comparison = compare_runs(base, new, metrics=("time",))
+        assert comparison.ok
+        assert len(comparison.deltas) == 1
+
+    def test_missing_workload_fails_the_gate(self):
+        base = make_manifest(run_id="a")
+        new = make_manifest(run_id="b", workload="other")
+        comparison = compare_runs(base, new)
+        assert not comparison.ok
+        assert len(comparison.missing) == 2
+        assert not comparison.deltas
+
+    def test_missing_configuration_fails_the_gate(self):
+        base = make_manifest(run_id="a", label="cfg")
+        new = make_manifest(run_id="b", label="cfg2")
+        comparison = compare_runs(base, new)
+        assert not comparison.ok
+        assert comparison.missing == ["w / cfg", "w / cfg2"]
+
+    def test_appearing_from_zero_is_infinite(self):
+        delta = MetricDelta("w", "cfg", "time", base=0.0, new=1.0)
+        assert delta.pct == float("inf")
+        assert delta.regressed(5.0)
+        assert MetricDelta("w", "cfg", "time", 0.0, 0.0).pct == 0.0
+
+
+class TestRender:
+    def test_identical_report(self):
+        comparison = compare_runs(
+            make_manifest(run_id="a"), make_manifest(run_id="b"),
+        )
+        text = render_comparison(comparison)
+        assert "identical" in text
+        assert "**PASS**" in text
+
+    def test_regression_report(self):
+        comparison = compare_runs(
+            make_manifest(run_id="a", energy=2.0),
+            make_manifest(run_id="b", energy=2.2),
+        )
+        text = render_comparison(comparison)
+        assert "**REGRESSION**" in text
+        assert "**FAIL**" in text
+        assert "+10.00%" in text
+        assert "| workload |" in text  # markdown table header

@@ -1,0 +1,162 @@
+"""The typed metrics registry: counters, gauges, histograms."""
+
+import threading
+
+import pytest
+
+from repro.obs.events import Collector
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(7)
+        assert counter.snapshot() == {"kind": "counter", "value": 7.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+        assert gauge.snapshot() == {"kind": "gauge", "value": 13.0}
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_bounds(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(56.2)
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert snap["buckets"] == {"le_1": 2, "le_10": 1, "le_inf": 1}
+
+    def test_mean(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == 3.0
+
+    def test_empty_snapshot_has_no_min_max(self):
+        snap = Histogram("h").snapshot()
+        assert "min" not in snap and "max" not in snap
+        assert snap["buckets"] == {}
+
+    def test_rejects_duplicate_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_unsorted_bounds_are_sorted(self):
+        hist = Histogram("h", buckets=(10.0, 1.0))
+        assert hist.bounds == (1.0, 10.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_kind_mismatch_is_typeerror(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_inspection(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+        assert "a" in registry and "missing" not in registry
+        assert registry.get("missing") is None
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_snapshot_is_sorted_and_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(2)
+        registry.histogram("c", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # must not raise
+
+    def test_concurrent_creation_yields_one_metric(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(4)
+        seen = []
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(metric) for metric in seen}) == 1
+
+
+class TestFromEvents:
+    def test_folds_counters_spans_and_instants(self):
+        collector = Collector(enabled=True)
+        collector.counter("cache.hits", 3)
+        collector.counter("cache.hits", 5)
+        with collector.span("pass.run", cat="compiler.pass"):
+            pass
+        collector.instant("decision")
+        registry = MetricsRegistry.from_events(collector.events())
+        assert registry.counter("cache.hits").value == 8.0
+        assert registry.histogram("cache.hits.samples").count == 2
+        assert registry.histogram("pass.run.ms").count == 1
+        assert registry.counter("decision").value == 1.0
+
+    def test_negative_counter_samples_do_not_break_the_sum(self):
+        collector = Collector(enabled=True)
+        collector.counter("delta", -2.0)
+        registry = MetricsRegistry.from_events(collector.events())
+        assert registry.counter("delta").value == 0.0
+        assert registry.histogram("delta.samples").min == -2.0
+
+
+class TestGlobalRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(old)
+        assert get_registry() is old

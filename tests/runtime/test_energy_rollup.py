@@ -1,0 +1,134 @@
+"""Per-segment energy accounting: the roll-up must be *bit-for-bit*.
+
+Every timeline segment the scheduler records carries an
+``EnergyBreakdown``; summing them in emission order must reproduce the
+``ScheduleResult`` bucket energies and total exactly (``==`` on floats,
+not approx) — on every workload, under every scheme.  That exactness is
+what lets the run ledger and the explain reports audit the schedule's
+energy from the trace alone.
+"""
+
+import pytest
+
+from repro.evaluation import run_all
+from repro.obs.timeline import RUNTIME_TASK, energy_attribution
+from repro.power.frequency import FrequencyPolicy
+from repro.runtime.scheduler import DAEScheduler
+from repro.runtime.task import Scheme
+from repro.sim.config import MachineConfig
+
+#: (id, profile stream, run scheme, policy) — every scheme the
+#: scheduler accepts, under both a fixed and an adaptive policy.
+CONFIGS = (
+    ("cae-fmax", Scheme.CAE, Scheme.CAE, "fmax"),
+    ("dae-optimal", Scheme.DAE, Scheme.DAE, "optimal"),
+    ("manual-optimal", Scheme.MANUAL, Scheme.DAE, "optimal"),
+    ("dae-minmax", Scheme.DAE, Scheme.DAE, "minmax"),
+)
+
+
+@pytest.fixture(scope="module")
+def all_runs():
+    """Profiles of every paper workload (the full ×-schemes matrix)."""
+    return run_all(cache=False)
+
+
+def _schedule(run, stream, scheme, policy, config):
+    return DAEScheduler(config).run(
+        run.profiles[stream.value].tasks, scheme,
+        FrequencyPolicy.from_name(policy, config),
+        record_timeline=True,
+    )
+
+
+@pytest.mark.parametrize(
+    "stream,scheme,policy",
+    [row[1:] for row in CONFIGS], ids=[row[0] for row in CONFIGS],
+)
+class TestBitForBitRollup:
+    def test_buckets_and_total_reproduce_exactly(self, all_runs, stream,
+                                                 scheme, policy):
+        config = MachineConfig()
+        for name, run in all_runs.items():
+            result = _schedule(run, stream, scheme, policy, config)
+            timeline = result.timeline
+            prefetch_nj, task_nj, osi_nj = timeline.bucket_energy_nj()
+            # Bitwise equality, not approx: the segments are the same
+            # floats the scheduler's bucket accounting added, in the
+            # same order.
+            assert prefetch_nj == result.buckets.prefetch_nj, name
+            assert task_nj == result.buckets.task_nj, name
+            assert osi_nj == result.buckets.osi_nj, name
+            assert timeline.energy_total_nj() == result.energy_nj, name
+
+    def test_invariants_hold(self, all_runs, stream, scheme, policy):
+        config = MachineConfig()
+        for run in all_runs.values():
+            result = _schedule(run, stream, scheme, policy, config)
+            # Coverage: per-core segments abut and span the whole run.
+            result.timeline.validate(result.time_ns)
+            # Energy: segments sum to the schedule total within 1e-9 J.
+            result.timeline.validate_energy(result.energy_nj, tol_nj=1.0)
+
+
+class TestTransitionAccounting:
+    @pytest.fixture()
+    def scheduled(self, all_runs):
+        config = MachineConfig()
+        run = next(iter(all_runs.values()))
+        return _schedule(run, Scheme.DAE, Scheme.DAE, "minmax", config)
+
+    def test_summary_reports_transition_energy(self, scheduled):
+        summary = scheduled.summary()
+        assert summary["transition_j"] == scheduled.transition_nj * 1e-9
+        # Transition energy is charged inside the O.S.I. bucket.
+        assert scheduled.transition_nj <= scheduled.buckets.osi_nj
+        assert scheduled.transitions > 0
+        assert scheduled.transition_nj > 0.0
+
+    def test_every_transition_has_a_switch_segment(self, scheduled):
+        switches = [
+            s for s in scheduled.timeline.segments if s.kind == "switch"
+        ]
+        assert len(switches) == scheduled.transitions
+        total = 0.0
+        for segment in switches:
+            assert segment.energy is not None
+            assert segment.energy.transition_nj == segment.energy.energy_nj
+            total += segment.energy.energy_nj
+        assert total == scheduled.transition_nj
+
+    def test_hidden_switches_are_zero_duration_but_charged(self, scheduled):
+        hidden = [
+            s for s in scheduled.timeline.segments
+            if s.kind == "switch" and s.dur_ns == 0.0
+        ]
+        # The minmax policy ramps on phase boundaries where the overlap
+        # model hides (at least some of) the latency.
+        for segment in hidden:
+            assert segment.energy.energy_nj > 0.0
+
+
+class TestAttributionTree:
+    def test_tree_is_consistent_with_the_schedule(self, all_runs):
+        config = MachineConfig()
+        run = next(iter(all_runs.values()))
+        result = _schedule(run, Scheme.DAE, Scheme.DAE, "optimal", config)
+        tree = energy_attribution(result.timeline)
+        assert tree["scheme"] == result.scheme
+        assert tree["policy"] == result.policy
+        assert tree["energy_nj"] == pytest.approx(result.energy_nj, rel=1e-9)
+        # Tasks partition the total (different summation order → approx).
+        assert sum(
+            node["energy_nj"] for node in tree["tasks"].values()
+        ) == pytest.approx(result.energy_nj, rel=1e-9)
+        assert sum(
+            node["energy_nj"] for node in tree["cores"].values()
+        ) == pytest.approx(result.energy_nj, rel=1e-9)
+        # Components attribute the total.
+        assert (
+            tree["dynamic_nj"] + tree["static_nj"] + tree["transition_nj"]
+        ) == pytest.approx(result.energy_nj, rel=1e-9)
+        # Idle tails / switches / steals belong to the runtime.
+        assert RUNTIME_TASK in tree["tasks"]
+        assert "idle" in tree["tasks"][RUNTIME_TASK]["phases"]
