@@ -17,8 +17,17 @@ scaling"* (CGO 2014):
 * :mod:`repro.workloads` — the seven benchmark applications;
 * :mod:`repro.tuning` — DVFS auto-tuning: objectives, search
   strategies, Pareto fronts, and the schedule-level ``"tuned"`` policy;
+* :mod:`repro.service` — the long-lived evaluation service (job queue,
+  request coalescing, supervised workers) and its client;
 * :mod:`repro.evaluation` — Table 1, Figures 1-4 and the headline
   numbers of Section 6.
+
+**Stable API:** :mod:`repro.api` is the supported public surface —
+``run_experiment``, ``profile``, ``tune``, ``compare_runs``,
+``ServiceClient`` and friends keep their names and signatures there
+across releases.  Deep imports (``repro.engine.pool`` …) keep working
+but may be reorganized; new code should prefer ``from repro.api
+import ...``.
 
 Quick start::
 

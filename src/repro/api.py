@@ -1,0 +1,59 @@
+"""The supported public surface of :mod:`repro`.
+
+``repro.api`` is the stability contract: everything re-exported here
+keeps its name and signature across PRs, while the deep module paths
+(``repro.engine.pool``, ``repro.tuning.tuner``, …) remain importable
+but may be reorganized freely.  Scripts, notebooks and CI should
+import from here::
+
+    from repro.api import ExperimentSpec, run_experiment
+
+    result = run_experiment(ExperimentSpec(workloads=("cg",), jobs=4))
+
+The surface, by task:
+
+* **Describe work** — :class:`ExperimentSpec` (strict: unknown knobs
+  raise :class:`EngineError` listing the valid fields; derive variants
+  with ``spec.replace(...)``), :class:`Scheme`, :class:`MachineConfig`.
+* **Run it** — :func:`run_experiment` (the synchronous engine),
+  :func:`submit_experiment` (asynchronous, returns an
+  :class:`EngineJobHandle` with ``result()`` / ``cancel()``),
+  :func:`profile` (one workload, every scheme), :func:`tune`
+  (DVFS auto-tuning).
+* **Serve it** — :class:`ServiceClient` against a running
+  ``python -m repro.evaluation serve`` daemon: queued, coalesced,
+  supervised evaluation shared by many callers.
+* **Audit it** — :func:`compare_runs` / :class:`RunLedger` over the
+  persistent run-ledger manifests.
+"""
+
+from .engine.jobs import (
+    CancelToken,
+    EngineJobHandle,
+    JobCancelled,
+    submit_experiment,
+)
+from .engine.pool import EnginePool, run_experiment
+from .engine.products import EngineError, WorkloadRun
+from .engine.products import profile_workload as profile
+from .engine.spec import EngineResult, EngineStats, ExperimentSpec
+from .obs.ledger import RunLedger, RunManifest, compare_runs
+from .runtime.task import Scheme
+from .service.client import ServiceClient, ServiceError
+from .sim.config import MachineConfig
+from .tuning import TuningResult
+from .tuning import tune_workload as tune
+
+__all__ = [
+    # describe
+    "ExperimentSpec", "Scheme", "MachineConfig",
+    # run
+    "run_experiment", "submit_experiment", "profile", "tune",
+    "EngineResult", "EngineStats", "WorkloadRun", "TuningResult",
+    "EngineJobHandle", "CancelToken", "EnginePool",
+    "EngineError", "JobCancelled",
+    # serve
+    "ServiceClient", "ServiceError",
+    # audit
+    "compare_runs", "RunLedger", "RunManifest",
+]

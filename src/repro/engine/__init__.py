@@ -33,13 +33,15 @@ from .products import (
     run_from_payload,
     run_to_payload,
 )
-from .pool import run_experiment
+from .jobs import CancelToken, EngineJobHandle, JobCancelled, submit_experiment
+from .pool import EnginePool, run_experiment
 from .spec import EngineResult, EngineStats, ExperimentSpec
 
 __all__ = [
     "CacheStats", "ProfileCache", "cache_key", "key_material",
     "ALL_SCHEMES", "CompiledSummary", "EngineError", "WorkloadRun",
     "profile_workload", "run_from_payload", "run_to_payload",
-    "run_experiment",
+    "CancelToken", "EngineJobHandle", "JobCancelled", "submit_experiment",
+    "EnginePool", "run_experiment",
     "EngineResult", "EngineStats", "ExperimentSpec",
 ]

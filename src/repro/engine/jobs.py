@@ -1,0 +1,151 @@
+"""Job handles: asynchronous, cancellable engine runs.
+
+The engine's original surface is synchronous —
+:func:`~repro.engine.pool.run_experiment` blocks until the whole
+matrix is done.  Long-lived callers (the evaluation service, notebook
+sessions) need three more things, added here and threaded through the
+pool module:
+
+* :class:`CancelToken` — cooperative cancellation.  The engine checks
+  the token at job boundaries (between workloads, between pool
+  collections) and raises :class:`JobCancelled`; a profiling job that
+  is already inside the simulator finishes its current workload first.
+* :class:`EngineJobHandle` — a future-like handle over one
+  ``run_experiment`` call running on a dispatcher thread:
+  ``done()`` / ``result(timeout)`` / ``cancel()``.
+* :func:`submit_experiment` — run a spec asynchronously, optionally on
+  a reusable :class:`~repro.engine.pool.EnginePool` so consecutive
+  jobs share warm worker processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Optional
+
+from .products import EngineError
+from .spec import EngineResult, ExperimentSpec
+
+__all__ = [
+    "JobCancelled",
+    "CancelToken",
+    "EngineJobHandle",
+    "submit_experiment",
+]
+
+
+class JobCancelled(EngineError):
+    """The run observed its :class:`CancelToken` and stopped."""
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    Hand one to :func:`~repro.engine.pool.run_experiment` (or get one
+    from :func:`submit_experiment`); call :meth:`cancel` from any
+    thread.  The engine polls it at workload boundaries.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self):
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, context: str = "") -> None:
+        if self._event.is_set():
+            raise JobCancelled(
+                "engine job cancelled%s" % (" (%s)" % context if context
+                                            else "")
+            )
+
+
+_handle_ids = itertools.count(1)
+
+
+class EngineJobHandle:
+    """One asynchronous ``run_experiment`` in flight."""
+
+    def __init__(self, spec: ExperimentSpec, future: Future,
+                 token: CancelToken, job_id: Optional[str] = None):
+        self.spec = spec
+        self.future = future
+        self.token = token
+        self.job_id = job_id or ("engine-job-%d" % next(_handle_ids))
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def running(self) -> bool:
+        return self.future.running()
+
+    def cancel(self) -> bool:
+        """Cancel the job: immediately if not started, cooperatively if
+        running.  Returns True unless the job already finished."""
+        if self.future.cancel():
+            return True
+        self.token.cancel()
+        return not self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> EngineResult:
+        """Block for the result.  Raises :class:`JobCancelled` for a
+        cancelled job and re-raises the job's own exception otherwise."""
+        try:
+            return self.future.result(timeout=timeout)
+        except CancelledError:
+            raise JobCancelled("engine job %s cancelled before it started"
+                               % self.job_id) from None
+        except FuturesTimeoutError:
+            raise
+
+    def exception(self, timeout: Optional[float] = None):
+        try:
+            return self.future.exception(timeout=timeout)
+        except CancelledError:
+            return JobCancelled(
+                "engine job %s cancelled before it started" % self.job_id
+            )
+
+
+# One lazily created daemon dispatcher per process: submit_experiment
+# callers are long-lived services/sessions, not per-call scripts.
+_dispatcher_lock = threading.Lock()
+_dispatcher = None
+
+
+def _get_dispatcher():
+    global _dispatcher
+    with _dispatcher_lock:
+        if _dispatcher is None:
+            from concurrent.futures import ThreadPoolExecutor
+            _dispatcher = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="engine-job",
+            )
+        return _dispatcher
+
+
+def submit_experiment(spec: ExperimentSpec, *, pool=None,
+                      dispatcher=None) -> EngineJobHandle:
+    """Run ``spec`` asynchronously; returns an :class:`EngineJobHandle`.
+
+    ``pool`` is an optional reusable
+    :class:`~repro.engine.pool.EnginePool` (the caller owns its
+    lifecycle); ``dispatcher`` an optional
+    ``concurrent.futures.Executor`` to run the job's driving thread on
+    (defaults to a small shared daemon pool).
+    """
+    from .pool import run_experiment
+
+    token = CancelToken()
+    executor = dispatcher or _get_dispatcher()
+    future = executor.submit(run_experiment, spec, pool=pool, cancel=token)
+    return EngineJobHandle(spec, future, token)

@@ -29,6 +29,7 @@ per-job wall clock (dispatch to completion, any execution path) and an
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -39,6 +40,7 @@ from ..obs.events import get_collector
 from ..obs.metrics import get_registry
 from ..workloads.base import Workload
 from .cache import ProfileCache, cache_key, key_material
+from .jobs import CancelToken
 from .products import (
     WorkloadRun,
     profile_workload,
@@ -46,6 +48,67 @@ from .products import (
     run_to_payload,
 )
 from .spec import EngineResult, EngineStats, ExperimentSpec
+
+
+class EnginePool:
+    """A reusable process-pool lifecycle for long-lived callers.
+
+    ``run_experiment`` creates and destroys its executor per call —
+    right for one-shot CLI runs, wasteful for a service evaluating a
+    stream of specs.  An :class:`EnginePool` owns one
+    ``ProcessPoolExecutor`` across many calls (warm workers, loaded
+    modules), recreates it lazily after breakage, and exposes health
+    for circuit-breaker callers::
+
+        pool = EnginePool(max_workers=4)
+        run_experiment(spec_a, pool=pool)   # creates the executor
+        run_experiment(spec_b, pool=pool)   # reuses warm workers
+        pool.shutdown()
+
+    Thread-safe: the service's dispatcher threads share one instance.
+    """
+
+    def __init__(self, max_workers: int = 2):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.created = 0    # executors ever created
+        self.broken = 0     # executors discarded after breakage
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, creating (or recreating) it on demand."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+                self.created += 1
+            return self._executor
+
+    @property
+    def healthy(self) -> bool:
+        """True while a live executor exists (never broken or not yet
+        created-and-discarded)."""
+        with self._lock:
+            return self._executor is not None
+
+    def mark_broken(self) -> None:
+        """Discard the current executor (stuck or crashed workers);
+        the next :meth:`executor` call starts a fresh one."""
+        with self._lock:
+            if self._executor is None:
+                return
+            self.broken += 1
+            executor, self._executor = self._executor, None
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
 
 
 def _pool_worker(payload: tuple) -> dict:
@@ -86,8 +149,18 @@ class _Job:
         )
 
 
-def run_experiment(spec: ExperimentSpec) -> EngineResult:
-    """Execute ``spec`` and return its :class:`EngineResult`."""
+def run_experiment(spec: ExperimentSpec, *,
+                   pool: Optional[EnginePool] = None,
+                   cancel: Optional[CancelToken] = None) -> EngineResult:
+    """Execute ``spec`` and return its :class:`EngineResult`.
+
+    ``pool`` is an optional reusable :class:`EnginePool` whose executor
+    outlives this call (the caller owns shutdown); without one the
+    engine creates and destroys a private executor as before.
+    ``cancel`` is an optional :class:`~repro.engine.jobs.CancelToken`
+    checked at workload boundaries — cancellation raises
+    :class:`~repro.engine.jobs.JobCancelled` out of this call.
+    """
     collector = get_collector()
     stats = EngineStats()
     started = time.perf_counter()
@@ -100,6 +173,8 @@ def run_experiment(spec: ExperimentSpec) -> EngineResult:
         pending: list[_Job] = []
 
         for workload in workloads:
+            if cancel is not None:
+                cancel.raise_if_cancelled("probing %s" % workload.name)
             job = _Job(workload=workload)
             if cache is not None:
                 job.material = key_material(
@@ -138,9 +213,10 @@ def run_experiment(spec: ExperimentSpec) -> EngineResult:
 
         if pending:
             if spec.jobs > 1 and len(pending) > 1:
-                _execute_pool(pending, spec, stats, collector)
+                _execute_pool(pending, spec, stats, collector,
+                              pool=pool, cancel=cancel)
             else:
-                _execute_serial(pending, spec, stats)
+                _execute_serial(pending, spec, stats, cancel=cancel)
 
         for job in pending:
             assert job.run is not None
@@ -189,8 +265,11 @@ def _run_serial_job(job: _Job, spec: ExperimentSpec) -> None:
 
 
 def _execute_serial(jobs: list, spec: ExperimentSpec,
-                    stats: EngineStats) -> None:
+                    stats: EngineStats,
+                    cancel: Optional[CancelToken] = None) -> None:
     for job in jobs:
+        if cancel is not None:
+            cancel.raise_if_cancelled("before %s" % job.workload.name)
         job.started = time.perf_counter()
         _run_serial_job(job, spec)
         job.source = "serial"
@@ -199,25 +278,34 @@ def _execute_serial(jobs: list, spec: ExperimentSpec,
 
 
 def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
-                  collector) -> None:
+                  collector, pool: Optional[EnginePool] = None,
+                  cancel: Optional[CancelToken] = None) -> None:
     """Fan ``jobs`` out over a process pool; degrade gracefully.
 
     Collection happens in submission (= spec) order.  Each job gets
     ``spec.timeout_s`` of wall clock and one retry; a job that fails
     twice — or a pool that cannot be created at all — is computed
     serially in-process instead.
+
+    With a caller-owned :class:`EnginePool` the executor is reused, not
+    shut down here; a timeout or cancellation marks it broken (a worker
+    may still be busy) so the pool recreates it for the next run.
     """
+    owns_executor = pool is None
     try:
-        executor = ProcessPoolExecutor(
-            max_workers=min(spec.jobs, len(jobs))
-        )
+        if pool is not None:
+            executor = pool.executor()
+        else:
+            executor = ProcessPoolExecutor(
+                max_workers=min(spec.jobs, len(jobs))
+            )
     except Exception as exc:  # no fork / no semaphores / low resources
         collector.instant(
             "engine.pool.unavailable", cat="engine.pool",
             args={"error": "%s: %s" % (type(exc).__name__, exc)},
         )
         stats.fallbacks += len(jobs)
-        _execute_serial(jobs, spec, stats)
+        _execute_serial(jobs, spec, stats, cancel=cancel)
         return
 
     def submit(job: _Job):
@@ -236,10 +324,14 @@ def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
             )
             remaining = [job for job in jobs if job.run is None]
             stats.fallbacks += len(remaining)
-            _execute_serial(remaining, spec, stats)
+            _execute_serial(remaining, spec, stats, cancel=cancel)
             return
 
         for job in jobs:
+            if cancel is not None:
+                cancel.raise_if_cancelled(
+                    "collecting %s" % job.workload.name
+                )
             payload = None
             for attempt in (0, 1):
                 try:
@@ -285,6 +377,11 @@ def _execute_pool(jobs: list, spec: ExperimentSpec, stats: EngineStats,
                 stats.serial_jobs += 1
                 job.finish()
     finally:
-        # A timed-out worker may still be busy; don't block on it.  In
-        # every other case wait so the pool's pipes close cleanly.
-        executor.shutdown(wait=not timed_out, cancel_futures=True)
+        if owns_executor:
+            # A timed-out worker may still be busy; don't block on it.
+            # In every other case wait so the pool's pipes close cleanly.
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+        elif timed_out or (cancel is not None and cancel.cancelled):
+            # Reusable pool with a possibly-stuck or abandoned worker:
+            # discard it so the next run starts from a fresh executor.
+            pool.mark_broken()

@@ -16,6 +16,7 @@ obs counters mirror.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional, Tuple, Union
@@ -24,7 +25,7 @@ from ..interp.fast import resolve_interp
 from ..sim.config import MachineConfig
 from ..transform.access_phase import AccessPhaseOptions
 from ..workloads import ALL_WORKLOADS, Workload, workload_by_name
-from .products import ALL_SCHEMES, Scheme, WorkloadRun
+from .products import ALL_SCHEMES, EngineError, Scheme, WorkloadRun
 
 #: Accepted workload specifiers: an instance, a registered name, or a
 #: Workload subclass.
@@ -71,6 +72,45 @@ class ExperimentSpec:
         object.__setattr__(self, "schemes", tuple(
             Scheme.coerce(s, context="ExperimentSpec") for s in self.schemes
         ))
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """The valid construction knobs, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def _check_kwargs(cls, kwargs: dict) -> None:
+        unknown = set(kwargs) - set(cls.field_names())
+        if unknown:
+            raise EngineError(
+                "unknown ExperimentSpec field(s) %s; valid fields: %s"
+                % (", ".join(sorted(repr(name) for name in unknown)),
+                   ", ".join(cls.field_names()))
+            )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "ExperimentSpec":
+        """Construct a spec, rejecting unknown knobs loudly.
+
+        Dict-driven construction paths (CLI plumbing, the service wire
+        protocol, sweep scripts) should come through here: a typo'd
+        knob raises :class:`EngineError` naming the valid fields
+        instead of being silently dropped by ``**kwargs`` splatting.
+        """
+        cls._check_kwargs(kwargs)
+        return cls(**kwargs)
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (validation re-runs).
+
+        Unknown field names raise :class:`EngineError` listing the
+        valid fields — the ergonomic way to build spec variants::
+
+            base = ExperimentSpec(workloads=("cg",))
+            serial = base.replace(jobs=1, cache=False)
+        """
+        self._check_kwargs(changes)
+        return dataclasses.replace(self, **changes)
 
     def resolve_workloads(self) -> list[Workload]:
         """Instantiate the workload specifiers, in spec order."""

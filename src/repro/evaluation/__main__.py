@@ -144,6 +144,112 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PREFIX", default=None,
         help="artifact path prefix (default: the app name)",
     )
+    serve = sub.add_parser(
+        "serve", help="run the long-lived evaluation service daemon",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="unix socket to listen on (default $REPRO_SERVICE_SOCKET "
+             "or <cache root>/service.sock)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission-control queue bound (default 64); submissions "
+             "beyond it get a structured 'overloaded' rejection",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=900.0, metavar="S",
+        help="per-job wall-clock budget in seconds (default 900)",
+    )
+    serve.add_argument(
+        "--attempts", type=int, default=3, metavar="N",
+        help="tries per job incl. retries w/ backoff (default 3)",
+    )
+    serve.add_argument(
+        "--engine-jobs", type=int, default=2, metavar="N",
+        help="width of the reusable engine process pool (default 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="profile cache root handed to every job",
+    )
+    serve.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record completed jobs into the run ledger",
+    )
+    serve.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="run-ledger root (default <cache root>/runs)",
+    )
+    serve.add_argument(
+        "--request-log", metavar="PATH", default=None,
+        help="append one JSONL line per request to PATH",
+    )
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running evaluation service",
+    )
+    submit.add_argument(
+        "workloads", nargs="*", metavar="APP",
+        help="workload names (default: all seven)",
+    )
+    submit.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="service socket (default $REPRO_SERVICE_SOCKET "
+             "or <cache root>/service.sock)",
+    )
+    submit.add_argument(
+        "--scale", type=int, default=1,
+        help="workload size multiplier (default 1)",
+    )
+    submit.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine process-pool width for this job (default 1)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="queue priority; higher runs first (default 0)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="max seconds to wait for the result (default: no limit)",
+    )
+    submit.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the raw result JSON to PATH",
+    )
+    submit.add_argument(
+        "--tune", action="store_true",
+        help="submit a tuning job instead of a profiling job "
+             "(takes exactly one APP)",
+    )
+    submit.add_argument(
+        "--objective", metavar="SPEC", default="edp",
+        help="tuning objective for --tune (default edp)",
+    )
+    submit.add_argument(
+        "--strategy", default="all",
+        help="tuning search strategy for --tune (default all)",
+    )
+    status = sub.add_parser(
+        "status", help="query a running service (a job, or the service)",
+    )
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id; omitted: print service-wide stats",
+    )
+    status.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="service socket (default $REPRO_SERVICE_SOCKET "
+             "or <cache root>/service.sock)",
+    )
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent profile cache",
     )
@@ -212,6 +318,12 @@ def main(argv=None) -> int:
 
     if args.experiment == "cache":
         return _run_cache(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "submit":
+        return _run_submit(args, parser)
+    if args.experiment == "status":
+        return _run_status(args, parser)
     if args.experiment == "runs":
         return _run_runs(args, parser)
     if args.experiment == "trace":
@@ -278,6 +390,132 @@ def _report_engine(result, file) -> None:
            stats.serial_jobs, stats.elapsed_s),
         file=file,
     )
+
+
+def _run_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from ..service.server import EvaluationService, ServiceConfig
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        job_timeout_s=args.job_timeout,
+        max_attempts=args.attempts,
+        engine_workers=args.engine_jobs,
+        cache_dir=args.cache_dir,
+        ledger=not args.no_ledger,
+        ledger_dir=args.ledger_dir,
+        request_log=args.request_log,
+    )
+    service = EvaluationService(config)
+
+    async def body():
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_stop)
+            except NotImplementedError:
+                pass
+        path = await service.start()
+        print("serving on %s (%d workers, queue %d)"
+              % (path, config.workers, config.max_queue), file=sys.stderr)
+        try:
+            await service._stop_event.wait()
+        finally:
+            await service.stop()
+            print("service stopped", file=sys.stderr)
+
+    asyncio.run(body())
+    return 0
+
+
+def _run_submit(args, parser) -> int:
+    import json
+
+    from ..service.client import ServiceClient, ServiceError
+
+    for name in args.workloads:
+        try:
+            workload_by_name(name)
+        except KeyError:
+            parser.error(
+                "unknown workload %r; choose from: %s"
+                % (name, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+            )
+    client = ServiceClient(args.socket)
+    try:
+        if args.tune:
+            if len(args.workloads) != 1:
+                parser.error("--tune takes exactly one workload name")
+            ack = client.submit_tune({
+                "workload": args.workloads[0],
+                "objective": args.objective,
+                "strategy": args.strategy,
+                "scale": args.scale,
+                "jobs": args.jobs,
+            }, priority=args.priority)
+        else:
+            ack = client.submit({
+                "workloads": list(args.workloads),
+                "scale": args.scale,
+                "jobs": args.jobs,
+            }, priority=args.priority)
+        print("job %s: %s%s" % (
+            ack["id"], ack["state"],
+            " (coalesced onto an identical in-flight job)"
+            if ack.get("coalesced") else "",
+        ), file=sys.stderr)
+        if args.no_wait:
+            print(ack["id"])
+            return 0
+        result = client.result(ack["id"], timeout_s=args.timeout)
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote %s" % args.out, file=sys.stderr)
+        if result.get("kind") == "experiment":
+            for name, payload in sorted(result["workloads"].items()):
+                print("%-12s %d tasks, %d schemes" % (
+                    name, payload["task_count"], len(payload["profiles"]),
+                ))
+        else:
+            print(json.dumps(
+                {k: result[k] for k in ("kind", "workload") if k in result},
+                sort_keys=True,
+            ))
+        return 0
+    except ServiceError as exc:
+        print("service error [%s]: %s" % (exc.code, exc.detail),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _run_status(args, parser) -> int:
+    import json
+
+    from ..service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.socket)
+    try:
+        if args.job_id:
+            doc = client.status(args.job_id)
+        else:
+            doc = client.stats()
+        doc.pop("ok", None)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    except ServiceError as exc:
+        print("service error [%s]: %s" % (exc.code, exc.detail),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _run_cache(args) -> int:

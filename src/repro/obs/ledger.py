@@ -34,6 +34,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 __all__ = [
     "MANIFEST_FORMAT",
+    "MANIFEST_SCHEMA_VERSION",
+    "LedgerSchemaError",
     "RunManifest",
     "RunLedger",
     "MetricDelta",
@@ -43,8 +45,22 @@ __all__ = [
     "ledger_root",
 ]
 
-#: Bump when the manifest layout changes incompatibly.
+#: The legacy pre-versioning marker (manifests written before
+#: ``schema_version`` existed carried ``"format": 1`` instead).
 MANIFEST_FORMAT = 1
+
+#: Current manifest schema.  Bump on incompatible layout changes;
+#: readers upgrade older versions in :meth:`RunManifest.from_dict` and
+#: refuse *newer* ones loudly (a manifest from a future repro must not
+#: be silently misread into a wrong PASS/FAIL verdict).
+#:
+#: History: v1 — implicit, tagged ``"format": 1``; v2 — explicit
+#: ``schema_version`` key, service-recorded runs (``kind="service"``).
+MANIFEST_SCHEMA_VERSION = 2
+
+
+class LedgerSchemaError(ValueError):
+    """A manifest's schema version cannot be handled by this reader."""
 
 #: Subdirectory of the profile-cache root holding the ledger.
 RUNS_SUBDIR = "runs"
@@ -84,16 +100,20 @@ class RunManifest:
     """
 
     run_id: str = ""
-    kind: str = "engine"          # engine | tune | trace
+    kind: str = "engine"          # engine | tune | trace | service
     created: str = ""             # ISO-8601 UTC wall-clock
     spec: Dict[str, Any] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
     workloads: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    #: True when :meth:`from_dict` upgraded a legacy (version-less)
+    #: document on read.  Never serialized.
+    upgraded: bool = field(default=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "format": MANIFEST_FORMAT,
+            "schema_version": self.schema_version,
             "run_id": self.run_id,
             "kind": self.kind,
             "created": self.created,
@@ -105,10 +125,28 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "RunManifest":
-        if doc.get("format") != MANIFEST_FORMAT:
-            raise ValueError(
-                "manifest format %r does not match %d"
-                % (doc.get("format"), MANIFEST_FORMAT)
+        version = doc.get("schema_version")
+        upgraded = False
+        if version is None:
+            # Legacy manifest: pre-versioning files carried "format": 1
+            # (or, earliest, nothing at all).  Accept and upgrade.
+            legacy = doc.get("format")
+            if legacy not in (None, MANIFEST_FORMAT):
+                raise LedgerSchemaError(
+                    "manifest has unknown legacy format %r" % (legacy,)
+                )
+            version = MANIFEST_SCHEMA_VERSION
+            upgraded = True
+        elif not isinstance(version, int) or version < 1:
+            raise LedgerSchemaError(
+                "manifest schema_version %r is not a positive integer"
+                % (version,)
+            )
+        elif version > MANIFEST_SCHEMA_VERSION:
+            raise LedgerSchemaError(
+                "manifest schema_version %d is newer than the supported "
+                "%d; upgrade repro to read this manifest"
+                % (version, MANIFEST_SCHEMA_VERSION)
             )
         return cls(
             run_id=str(doc.get("run_id", "")),
@@ -118,6 +156,8 @@ class RunManifest:
             stats=dict(doc.get("stats") or {}),
             metrics=dict(doc.get("metrics") or {}),
             workloads=dict(doc.get("workloads") or {}),
+            schema_version=MANIFEST_SCHEMA_VERSION,
+            upgraded=upgraded,
         )
 
     def summary_line(self) -> Dict[str, Any]:
@@ -315,6 +355,14 @@ def compare_runs(base: RunManifest, new: RunManifest,
     statistics, and run metadata never affect the verdict, so two runs
     of the same spec always compare clean.
     """
+    for manifest in (base, new):
+        if manifest.schema_version > MANIFEST_SCHEMA_VERSION:
+            raise LedgerSchemaError(
+                "cannot compare manifest %r: schema_version %d is newer "
+                "than the supported %d"
+                % (manifest.run_id, manifest.schema_version,
+                   MANIFEST_SCHEMA_VERSION)
+            )
     wanted = {name: key for name, key in COMPARED_METRICS
               if name in metrics}
     comparison = RunComparison(

@@ -1,0 +1,193 @@
+"""The synchronous client scripts and CI drive the service with.
+
+:class:`ServiceClient` speaks the JSON-line protocol over the unix
+socket: one request document per line, one response line back.  The
+connection is persistent (created lazily, reconnected on error) and
+the client is deliberately synchronous — notebooks, sweep scripts and
+CI steps are sequential callers; concurrency lives in the server.
+
+Failed responses raise :class:`ServiceError` carrying the structured
+error code (``exc.code == "overloaded"`` is how a caller implements
+client-side backpressure).  ``last_raw`` keeps the raw bytes of the
+most recent response line, so tests can assert byte-identity of
+coalesced results without re-serializing.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Optional, Union
+
+from ..engine.spec import ExperimentSpec
+from .protocol import spec_to_doc
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A structured error response (or transport failure)."""
+
+    def __init__(self, code: str, detail: str = "",
+                 doc: Optional[Dict[str, Any]] = None):
+        super().__init__("%s: %s" % (code, detail) if detail else code)
+        self.code = code
+        self.detail = detail
+        self.doc = doc or {}
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.EvaluationService`.
+
+    ::
+
+        with ServiceClient("/tmp/repro.sock") as client:
+            job = client.submit(ExperimentSpec(workloads=("cg",)))
+            doc = client.result(job["id"])          # blocks until done
+            payloads = doc["workloads"]
+    """
+
+    def __init__(self, socket_path: Optional[str] = None, *,
+                 timeout_s: float = 600.0):
+        from .protocol import default_socket_path
+        self.socket_path = socket_path or default_socket_path()
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        #: Raw bytes of the most recent response line (byte-identity
+        #: assertions in tests).
+        self.last_raw: bytes = b""
+
+    # -- transport -------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            sock.connect(self.socket_path)
+            self._sock = sock
+            self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self._sock.sendall(payload)
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise ServiceError(
+                "transport", "request failed: %s" % (exc,),
+            ) from exc
+        if not line:
+            self.close()
+            raise ServiceError("transport", "connection closed by service")
+        self.last_raw = line.rstrip(b"\n")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(
+                "transport", "unparseable response: %r" % (line[:200],),
+            ) from exc
+        if not response.get("ok"):
+            raise ServiceError(
+                str(response.get("error", "unknown")),
+                str(response.get("detail", "")),
+                response,
+            )
+        return response
+
+    # -- verbs -----------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})
+
+    def submit(self, spec: Union[ExperimentSpec, Dict[str, Any]], *,
+               priority: int = 0) -> Dict[str, Any]:
+        """Submit a profiling job; returns the submit ack (``id``,
+        ``state``, ``coalesced``).  Raises :class:`ServiceError` with
+        ``code == "overloaded"`` when admission control rejects it."""
+        doc = spec_to_doc(spec) if isinstance(spec, ExperimentSpec) \
+            else dict(spec)
+        return self._request({
+            "op": "submit", "kind": "experiment", "spec": doc,
+            "priority": priority,
+        })
+
+    def submit_tune(self, tune: Dict[str, Any], *,
+                    priority: int = 0) -> Dict[str, Any]:
+        """Submit a tuning job (``{"workload": "cg", "objective": ...}``)."""
+        return self._request({
+            "op": "submit", "kind": "tune", "tune": dict(tune),
+            "priority": priority,
+        })
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "id": job_id})
+
+    def result(self, job_id: str,
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Block (server-side) until the job finishes; returns the
+        result document.  ``timeout_s=None`` waits indefinitely."""
+        doc: Dict[str, Any] = {"op": "result", "id": job_id}
+        if timeout_s is not None:
+            doc["timeout_s"] = timeout_s
+        return self._request(doc)["result"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "cancel", "id": job_id})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        """Stop the service; ``drain=True`` finishes in-flight jobs
+        first.  The connection closes afterwards."""
+        try:
+            return self._request({"op": "shutdown", "drain": drain})
+        finally:
+            self.close()
+
+    # -- conveniences ----------------------------------------------------------
+
+    def run(self, spec: Union[ExperimentSpec, Dict[str, Any]], *,
+            priority: int = 0,
+            timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Submit and wait: the one-call path for scripts."""
+        ack = self.submit(spec, priority=priority)
+        return self.result(ack["id"], timeout_s=timeout_s)
+
+    def wait_until_ready(self, timeout_s: float = 10.0,
+                         interval_s: float = 0.05) -> bool:
+        """Poll ``ping`` until the service answers (daemon startup)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except (ServiceError, OSError):
+                self.close()
+                time.sleep(interval_s)
+        return False

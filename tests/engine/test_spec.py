@@ -56,6 +56,46 @@ class TestExperimentSpec:
             ExperimentSpec(workloads=(42,)).resolve_workloads()
 
 
+class TestStrictKwargs:
+    def test_field_names_cover_the_dataclass(self):
+        names = ExperimentSpec.field_names()
+        assert "workloads" in names
+        assert "schemes" in names
+        assert "cache_dir" in names
+
+    def test_from_kwargs_accepts_valid_fields(self):
+        spec = ExperimentSpec.from_kwargs(workloads=("cg",), scale=2)
+        assert spec.scale == 2
+
+    def test_unknown_kwarg_rejected_with_field_list(self):
+        from repro.engine import EngineError
+
+        with pytest.raises(EngineError) as err:
+            ExperimentSpec.from_kwargs(workloads=("cg",), scael=2)
+        message = str(err.value)
+        assert "'scael'" in message
+        assert "valid fields" in message
+        assert "scale" in message          # the list names the real knob
+
+    def test_replace_derives_a_validated_variant(self):
+        base = ExperimentSpec(workloads=("cg",), scale=1, jobs=4)
+        variant = base.replace(jobs=1)
+        assert variant.jobs == 1
+        assert variant.scale == 1
+        assert variant.workloads == base.workloads
+        assert base.jobs == 4              # original untouched
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec().replace(scale=0)
+
+    def test_replace_rejects_unknown_fields(self):
+        from repro.engine import EngineError
+
+        with pytest.raises(EngineError, match="scael"):
+            ExperimentSpec().replace(scael=2)
+
+
 class TestEngineResult:
     @pytest.fixture(scope="class")
     def result(self):

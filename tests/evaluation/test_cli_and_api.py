@@ -108,3 +108,51 @@ class TestPublicAPI:
         full = repro.sandybridge_full()
         assert full.l1.size_bytes > scaled.l1.size_bytes
         assert full.operating_points == scaled.operating_points
+
+
+class TestStableApiFacade:
+    """``repro.api`` is the stability contract: every documented name
+    importable, and identical to its deep-module definition."""
+
+    def test_every_declared_name_resolves(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_facade_values_are_the_deep_imports(self):
+        from repro import api
+        from repro.engine.jobs import submit_experiment
+        from repro.engine.pool import EnginePool, run_experiment
+        from repro.engine.products import profile_workload
+        from repro.engine.spec import ExperimentSpec
+        from repro.obs.ledger import compare_runs
+        from repro.service.client import ServiceClient
+        from repro.tuning import tune_workload
+
+        assert api.run_experiment is run_experiment
+        assert api.submit_experiment is submit_experiment
+        assert api.ExperimentSpec is ExperimentSpec
+        assert api.EnginePool is EnginePool
+        assert api.profile is profile_workload
+        assert api.tune is tune_workload
+        assert api.compare_runs is compare_runs
+        assert api.ServiceClient is ServiceClient
+
+    def test_facade_covers_the_documented_tasks(self):
+        from repro import api
+
+        # describe / run / serve / audit — one spot-check per group.
+        for name in ("ExperimentSpec", "run_experiment",
+                     "ServiceClient", "compare_runs",
+                     "EngineError", "JobCancelled"):
+            assert name in api.__all__, name
+
+    def test_facade_runs_an_experiment(self):
+        from repro import api
+
+        from ..engine.tinywork import TinyWorkload
+
+        spec = api.ExperimentSpec(workloads=(TinyWorkload(),), cache=False)
+        result = api.run_experiment(spec)
+        assert result["tiny"].task_count == TinyWorkload.chunks

@@ -6,6 +6,8 @@ import pytest
 
 from repro.obs.ledger import (
     MANIFEST_FORMAT,
+    MANIFEST_SCHEMA_VERSION,
+    LedgerSchemaError,
     MetricDelta,
     RunLedger,
     RunManifest,
@@ -49,11 +51,55 @@ class TestManifest:
         again = RunManifest.from_dict(manifest.to_dict())
         assert again.to_dict() == manifest.to_dict()
 
-    def test_format_mismatch_rejected(self):
+    def test_new_manifests_carry_schema_version(self):
         doc = make_manifest().to_dict()
-        doc["format"] = MANIFEST_FORMAT + 1
-        with pytest.raises(ValueError):
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert "format" not in doc
+
+    def test_future_schema_version_rejected(self):
+        doc = make_manifest().to_dict()
+        doc["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(LedgerSchemaError):
             RunManifest.from_dict(doc)
+
+    def test_non_integer_schema_version_rejected(self):
+        doc = make_manifest().to_dict()
+        doc["schema_version"] = "two"
+        with pytest.raises(LedgerSchemaError):
+            RunManifest.from_dict(doc)
+
+    def test_legacy_format_1_manifest_upgraded(self):
+        doc = make_manifest(run_id="old").to_dict()
+        del doc["schema_version"]
+        doc["format"] = MANIFEST_FORMAT  # pre-versioning marker
+        manifest = RunManifest.from_dict(doc)
+        assert manifest.upgraded is True
+        assert manifest.schema_version == MANIFEST_SCHEMA_VERSION
+        assert manifest.run_id == "old"
+        # re-serialization writes the current schema
+        assert manifest.to_dict()["schema_version"] == \
+            MANIFEST_SCHEMA_VERSION
+
+    def test_versionless_manifest_upgraded(self):
+        doc = make_manifest(run_id="ancient").to_dict()
+        del doc["schema_version"]
+        manifest = RunManifest.from_dict(doc)
+        assert manifest.upgraded is True
+        assert manifest.workloads
+
+    def test_unknown_legacy_format_rejected(self):
+        doc = make_manifest().to_dict()
+        del doc["schema_version"]
+        doc["format"] = MANIFEST_FORMAT + 1
+        with pytest.raises(LedgerSchemaError):
+            RunManifest.from_dict(doc)
+
+    def test_compare_runs_rejects_future_version(self):
+        base = make_manifest(run_id="a")
+        new = make_manifest(run_id="b")
+        new.schema_version = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(LedgerSchemaError):
+            compare_runs(base, new)
 
     def test_summary_line(self):
         line = make_manifest(run_id="r1").summary_line()

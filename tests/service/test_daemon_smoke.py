@@ -1,0 +1,111 @@
+"""The real daemon, end to end: subprocess, real engine, real workload.
+
+This is the CI smoke path: start ``python -m repro.evaluation serve``
+as a subprocess, drive it with :class:`ServiceClient`, and assert the
+service's result bytes are identical to a direct in-process
+:func:`run_experiment` of the same spec — the service is a *transport*,
+never a different answer.  Also exercises graceful shutdown: a result
+wait issued before ``shutdown`` is answered by the drain.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ExperimentSpec
+from repro.engine.pool import run_experiment
+from repro.service.client import ServiceClient
+from repro.service.protocol import canonical_dumps, engine_result_doc
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SPEC_DOC = {"workloads": ["cg"], "scale": 1}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    socket_path = str(tmp_path / "daemon.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.evaluation", "serve",
+         "--socket", socket_path,
+         "--workers", "1",
+         "--cache-dir", str(tmp_path / "service-cache"),
+         "--no-ledger"],
+        env={**os.environ, "PYTHONPATH": REPO_SRC},
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    client = ServiceClient(socket_path)
+    try:
+        if not client.wait_until_ready(timeout_s=30.0):
+            proc.kill()
+            out, err = proc.communicate(timeout=10.0)
+            raise RuntimeError(
+                "daemon failed to come up: %s" % err.decode()[-500:]
+            )
+        yield proc, client, socket_path
+    finally:
+        client.close()
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+
+class TestDaemonSmoke:
+    def test_service_result_is_byte_identical_to_direct_run(
+            self, daemon, tmp_path):
+        proc, client, _ = daemon
+
+        # The ground truth: the same spec, run directly in this
+        # process against a *separate* cache (independent compute,
+        # not a cache echo).
+        direct = run_experiment(ExperimentSpec(
+            workloads=("cg",), scale=1,
+            cache_dir=str(tmp_path / "direct-cache"),
+        ))
+        expected_text = canonical_dumps(engine_result_doc(direct))
+
+        ack = client.submit(SPEC_DOC)
+        assert ack["state"] in ("queued", "running")
+        doc = client.result(ack["id"], timeout_s=120.0)
+
+        expected_line = (
+            '{"id":"%s","ok":true,"result":%s,"state":"done"}'
+            % (ack["id"], expected_text)
+        ).encode("utf-8")
+        assert client.last_raw == expected_line
+        assert doc == json.loads(expected_text)
+        assert doc["workloads"]["cg"]["task_count"] > 0
+
+    def test_graceful_shutdown_answers_pending_waiters(self, daemon):
+        proc, client, socket_path = daemon
+
+        ack = client.submit({"workloads": ["cg"], "scale": 2})
+        results = {}
+        waiter = ServiceClient(socket_path)
+
+        def fetch():
+            results["doc"] = waiter.result(ack["id"], timeout_s=120.0)
+
+        fetcher = threading.Thread(target=fetch)
+        fetcher.start()
+        try:
+            # Drain: the in-flight job finishes and the pending
+            # result wait above is answered before the daemon exits.
+            response = client.shutdown(drain=True)
+            assert response["ok"]
+            fetcher.join(timeout=120.0)
+            assert not fetcher.is_alive()
+            assert results["doc"]["kind"] == "experiment"
+            assert "cg" in results["doc"]["workloads"]
+        finally:
+            waiter.close()
+        assert proc.wait(timeout=30.0) == 0
