@@ -6,6 +6,9 @@ single-workload run writing a Chrome trace, a JSONL event log, and an
 explain report), ``tune <app>`` (auto-tune the workload's operating
 points and write a markdown + JSON tuning report),
 ``cache {stats,clear}`` (inspect / empty the persistent profile cache),
+``fuzz {run,replay,reduce}`` (differential fuzzing: generate seeded
+random programs through every oracle, replay the checked-in regression
+corpus, or delta-debug a failing program to a minimal reproducer),
 and ``runs {record,list,show,compare}`` — the persistent run ledger:
 ``record`` profiles workloads and appends a JSON manifest (schedule
 summaries, relative metrics, energy attribution, engine telemetry)
@@ -260,6 +263,63 @@ def _build_parser() -> argparse.ArgumentParser:
              "or $REPRO_CACHE_DIR)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the DAE pipeline",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="verb", required=True)
+    fuzz_run_p = fuzz_sub.add_parser(
+        "run", help="generate programs and run every oracle on each",
+    )
+    fuzz_run_p.add_argument(
+        "--seed", type=int, default=0,
+        help="first generator seed (default 0)",
+    )
+    fuzz_run_p.add_argument(
+        "--count", type=int, default=200, metavar="N",
+        help="number of programs (seeds seed..seed+N-1; default 200)",
+    )
+    fuzz_run_p.add_argument(
+        "--pool-sample", type=int, default=None, metavar="N",
+        help="programs covered by the serial-vs-pooled engine oracle "
+             "(default 6)",
+    )
+    fuzz_run_p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as JSON to PATH",
+    )
+    fuzz_run_p.add_argument(
+        "--save-failures", metavar="DIR", default=None,
+        help="save every violating program as a corpus file under DIR",
+    )
+    fuzz_replay_p = fuzz_sub.add_parser(
+        "replay", help="replay the regression corpus through all oracles",
+    )
+    fuzz_replay_p.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="corpus directory (default tests/fuzz/corpus)",
+    )
+    fuzz_reduce_p = fuzz_sub.add_parser(
+        "reduce", help="delta-debug a failing program to a minimal "
+                       "reproducer",
+    )
+    fuzz_reduce_p.add_argument(
+        "--seed", type=int, default=None,
+        help="generator seed (with --inject)",
+    )
+    fuzz_reduce_p.add_argument(
+        "--inject", action="store_true",
+        help="inject a synthetic oracle failure into the seed's program "
+             "and reduce against it (self-test mode)",
+    )
+    fuzz_reduce_p.add_argument(
+        "--corpus-file", metavar="PATH", default=None,
+        help="reduce a real failing corpus entry instead",
+    )
+    fuzz_reduce_p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the reduced reproducer as a corpus file to PATH",
+    )
+
     ledger_flags = argparse.ArgumentParser(add_help=False)
     ledger_flags.add_argument(
         "--ledger-dir", metavar="DIR", default=None,
@@ -326,6 +386,8 @@ def main(argv=None) -> int:
         return _run_status(args, parser)
     if args.experiment == "runs":
         return _run_runs(args, parser)
+    if args.experiment == "fuzz":
+        return _run_fuzz(args, parser)
     if args.experiment == "trace":
         return _run_trace(args, parser)
     if args.experiment == "tune":
@@ -598,6 +660,60 @@ def _run_runs(args, parser) -> int:
             handle.write("\n")
         print("wrote %s" % args.out, file=sys.stderr)
     print("recorded %s -> %s" % (manifest.run_id, path))
+    return 0
+
+
+def _run_fuzz(args, parser) -> int:
+    import json
+
+    from .fuzzing import (
+        DEFAULT_CORPUS_DIR,
+        DEFAULT_POOL_SAMPLE,
+        fuzz_reduce,
+        fuzz_replay,
+        fuzz_run,
+        render_fuzz_report,
+        render_reduce_report,
+        render_replay_report,
+    )
+
+    if args.verb == "run":
+        pool_sample = (DEFAULT_POOL_SAMPLE if args.pool_sample is None
+                       else args.pool_sample)
+        print("fuzzing %d programs from seed %d..."
+              % (args.count, args.seed), file=sys.stderr)
+        report = fuzz_run(
+            args.seed, args.count, pool_sample=pool_sample,
+            save_failures=args.save_failures,
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote %s" % args.out, file=sys.stderr)
+        print(render_fuzz_report(report))
+        return 1 if report["violations"] else 0
+    if args.verb == "replay":
+        corpus = args.corpus or DEFAULT_CORPUS_DIR
+        report = fuzz_replay(corpus)
+        print(render_replay_report(report))
+        return 1 if report["violations"] else 0
+    # reduce
+    if not args.inject and not args.corpus_file:
+        parser.error("fuzz reduce needs --inject (with --seed) "
+                     "or --corpus-file PATH")
+    if args.inject and args.seed is None:
+        parser.error("--inject needs --seed")
+    try:
+        report = fuzz_reduce(
+            seed=args.seed, corpus_file=args.corpus_file,
+            inject=args.inject, out=args.out,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(render_reduce_report(report))
+    if args.out:
+        print("wrote %s" % args.out, file=sys.stderr)
     return 0
 
 

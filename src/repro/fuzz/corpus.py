@@ -1,0 +1,115 @@
+"""On-disk regression corpus of fuzz programs.
+
+A corpus entry is an ordinary task-language source file prefixed with
+``//!`` header lines (which the lexer treats as comments, so the file
+compiles as-is):
+
+.. code-block:: text
+
+    //! fuzz-corpus v1
+    //! seed 42
+    //! note interp divergence on nested chase; reduced reproducer
+    //! param {"name": "A", "kind": "f64*", "count": 96, ...}
+    //! param {"name": "n", "kind": "i64", "value": 6}
+    task fuzz_task(A: f64*, ...) { ... }
+
+The headers carry everything needed to reconstruct the
+:class:`~repro.fuzz.generator.GeneratedProgram` contract — in
+particular the parameter specs that drive memory layout and argument
+values — so a checked-in reproducer replays bit-identically.  The test
+suite replays every entry under ``tests/fuzz/corpus/`` through all
+oracles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .generator import GeneratedProgram, ParamSpec
+
+_MAGIC = "//! fuzz-corpus v1"
+
+
+class CorpusError(Exception):
+    """A corpus file is malformed."""
+
+
+def save_program(program: GeneratedProgram, path: str) -> None:
+    lines = [_MAGIC, "//! seed %d" % program.seed]
+    if program.note:
+        lines.append("//! note %s" % program.note.replace("\n", " "))
+    if program.features:
+        lines.append("//! features %s" % ",".join(program.features))
+    for spec in program.params:
+        lines.append("//! param %s" % json.dumps(spec.to_doc(),
+                                                 sort_keys=True))
+    text = "\n".join(lines) + "\n" + program.source
+    if not text.endswith("\n"):
+        text += "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def load_program(path: str) -> GeneratedProgram:
+    with open(path) as handle:
+        text = handle.read()
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise CorpusError("%s: missing %r header" % (path, _MAGIC))
+    seed = 0
+    note = ""
+    features: tuple = ()
+    params: list = []
+    body_start = 1
+    for index, line in enumerate(lines[1:], start=1):
+        if not line.startswith("//!"):
+            body_start = index
+            break
+        field = line[3:].strip()
+        try:
+            if field.startswith("seed "):
+                seed = int(field[5:])
+            elif field.startswith("note "):
+                note = field[5:]
+            elif field.startswith("features "):
+                features = tuple(field[9:].split(","))
+            elif field.startswith("param "):
+                params.append(ParamSpec.from_doc(json.loads(field[6:])))
+            else:
+                raise CorpusError(
+                    "%s:%d: unknown header %r" % (path, index + 1, field)
+                )
+        except (ValueError, KeyError) as exc:
+            raise CorpusError(
+                "%s:%d: bad header %r (%s)" % (path, index + 1, field, exc)
+            ) from None
+    else:
+        raise CorpusError("%s: header-only file, no program" % path)
+    if not params:
+        raise CorpusError("%s: no //! param headers" % path)
+    source = "\n".join(lines[body_start:])
+    if not source.endswith("\n"):
+        source += "\n"
+    return GeneratedProgram(
+        seed=seed, source=source, params=tuple(params),
+        features=features, note=note,
+    )
+
+
+def load_corpus(directory: str) -> list:
+    """All corpus entries under ``directory``, sorted by filename.
+
+    Returns ``[(filename, GeneratedProgram), ...]``; an absent
+    directory is an empty corpus, but an entry that fails to parse
+    raises :class:`CorpusError` (a broken reproducer must not be
+    skipped silently).
+    """
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".fuzz"):
+            continue
+        entries.append((name, load_program(os.path.join(directory, name))))
+    return entries

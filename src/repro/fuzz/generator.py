@@ -1,0 +1,666 @@
+"""Seeded random program generator for the task language.
+
+Programs span the feature space the DAE transform cares about: affine
+loop nests, indirection through index arrays, pointer chasing, branches
+in loop bodies, reductions, helper calls, and mixed int/float
+arithmetic.  Two guarantees hold for every generated program, enforced
+by construction and pinned in ``tests/fuzz/test_generator.py``:
+
+* **well-formed** — the program parses, lowers, optimizes and passes
+  the IR verifier (under per-pass verification);
+* **terminating** — every loop is bounded by an induction scalar whose
+  trip count is known at generation time; loop exits never depend on
+  array contents, so both the execute version *and* its derived access
+  slice terminate well inside the fuzzing step limit.
+
+Index expressions are built from a restricted non-negative grammar with
+a tracked maximum value, so every dynamic array access is in bounds.
+Value expressions are unrestricted (negatives, mixed widths, IEEE
+division) — they can produce inf/NaN but can never feed an address.
+
+The generator also has a *negative* mode
+(:func:`generate_invalid_program`): seeded corruptions of a valid
+program (unterminated blocks, undefined variables, type mismatches,
+bad arity, lexical garbage) paired with the typed frontend error each
+must raise — the error-path tests and the fuzzer's crash oracle reuse
+these.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Literal used by the synthetic (injected) oracle failure; chosen so it
+#: can never collide with generator-emitted literals.
+MARKER_LITERAL = 31337.0
+MARKER_TEXT = "31337"
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One task parameter and how the harness materializes it.
+
+    Arrays (``kind`` ending in ``*``) are allocated in simulated memory
+    and filled deterministically; scalars are passed by value.
+    """
+
+    name: str
+    kind: str                    # 'f64*' | 'i64*' | 'i64' | 'f64'
+    count: int = 0               # array element count
+    fill: str = ""               # 'floats' | 'ints' | '' (scalar)
+    fill_seed: int = 7
+    modulo: int = 1              # for fill='ints': values in [0, modulo)
+    value: object = None         # scalar value
+
+    def to_doc(self) -> dict:
+        doc = {"name": self.name, "kind": self.kind}
+        if self.kind.endswith("*"):
+            doc.update(count=self.count, fill=self.fill,
+                       fill_seed=self.fill_seed, modulo=self.modulo)
+        else:
+            doc["value"] = self.value
+        return doc
+
+    @staticmethod
+    def from_doc(doc: dict) -> "ParamSpec":
+        return ParamSpec(
+            name=doc["name"], kind=doc["kind"],
+            count=int(doc.get("count", 0)), fill=doc.get("fill", ""),
+            fill_seed=int(doc.get("fill_seed", 7)),
+            modulo=int(doc.get("modulo", 1)),
+            value=doc.get("value"),
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated task-language program plus its harness contract."""
+
+    seed: int
+    source: str
+    params: tuple            # tuple[ParamSpec, ...]
+    task_name: str = "fuzz_task"
+    features: tuple = ()     # feature tags actually exercised
+    note: str = ""           # free-form provenance (corpus comments)
+
+    def with_source(self, source: str, note: str = "") -> "GeneratedProgram":
+        return replace(self, source=source, note=note or self.note)
+
+
+@dataclass
+class GeneratorConfig:
+    """Size and feature knobs for :func:`generate_program`."""
+
+    #: Rough top-level statement budget (actual count is randomized).
+    max_statements: int = 18
+    #: Maximum loop nesting depth.
+    max_depth: int = 3
+    #: Cap on the product of enclosing trip counts (termination budget).
+    max_trip_product: int = 512
+    #: Element count of the f64 data arrays and the i64 index array.
+    data_size: int = 96
+    #: Element count of the result array the tail writes live into.
+    out_size: int = 16
+
+    # Feature switches (all on by default; knobs for targeted runs).
+    indirection: bool = True      # I[...] used inside index expressions
+    chase: bool = True            # pointer-chasing while loops
+    branches: bool = True         # if/else in loop bodies
+    while_loops: bool = True      # counted while loops
+    calls: bool = True            # helper functions + call sites
+    recursion: bool = True        # rare recursive helper (non-inlinable)
+    int_stores: bool = True       # stores into the index array
+    prefetches: bool = True       # explicit prefetch statements
+    floats: bool = True           # float arithmetic / mixed casts
+
+
+#: Names fixed across all programs (the harness and reducer rely on
+#: the out array being ``R`` and the index array being ``I``).
+_DATA_ARRAYS = ("A", "B")
+_INDEX_ARRAY = "I"
+_OUT_ARRAY = "R"
+
+
+class _Scope:
+    """Mutable generation state for one program."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig):
+        self.rng = rng
+        self.config = config
+        self.seed = 0
+        self.lines: list[str] = []
+        self.depth = 0
+        self.loop_vars: list[tuple] = []   # (name, max_value)
+        self.int_vars: list[str] = []
+        self.float_vars: list[str] = []
+        self.counter = 0
+        self.trip_product = 1
+        self.features: set[str] = set()
+        self.helpers: list[str] = []       # helper names available
+        self.n_value = rng.randint(4, 8)
+
+    def fresh(self, prefix: str) -> str:
+        name = "%s%d" % (prefix, self.counter)
+        self.counter += 1
+        return name
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * (self.depth + 1) + text)
+
+
+def generate_program(seed: int,
+                     config: Optional[GeneratorConfig] = None,
+                     ) -> GeneratedProgram:
+    """Generate the program for ``seed`` (same seed → same program)."""
+    config = config or GeneratorConfig()
+    rng = random.Random("repro.fuzz:%d" % seed)
+    scope = _Scope(rng, config)
+    scope.seed = seed
+
+    header: list[str] = []
+    if config.calls and rng.random() < 0.6:
+        header.append(
+            "func hmul(a: f64, b: f64) -> f64 {\n"
+            "  return a * b + %s;\n"
+            "}" % _float_literal(rng)
+        )
+        scope.helpers.append("hmul")
+        scope.features.add("call")
+    if config.calls and rng.random() < 0.35:
+        header.append(
+            "func hsel(a: f64, t: i64) -> f64 {\n"
+            "  if (t % 2 == 0) {\n"
+            "    return a;\n"
+            "  }\n"
+            "  return 0.0 - a;\n"
+            "}"
+        )
+        scope.helpers.append("hsel")
+        scope.features.add("call")
+    recursive = config.recursion and rng.random() < 0.08
+    if recursive:
+        header.append(
+            "func hrec(k: i64) -> i64 {\n"
+            "  if (k <= 0) {\n"
+            "    return 0;\n"
+            "  }\n"
+            "  return k + hrec(k - 1);\n"
+            "}"
+        )
+        scope.features.add("recursion")
+
+    # Seed scalars so value expressions always have material.  Names
+    # come from the same counter as every later declaration, so a
+    # generated program can never shadow a live variable (self-shadowing
+    # ``var x = x`` would read the new, undef slot).
+    acc = scope.fresh("v")
+    scope.emit("var %s: f64 = %s;" % (acc, _float_literal(rng)))
+    scope.float_vars.append(acc)
+    kvar = scope.fresh("k")
+    scope.emit("var %s: i64 = %d;" % (kvar, rng.randint(0, 7)))
+    scope.int_vars.append(kvar)
+
+    budget = rng.randint(max(6, config.max_statements // 2),
+                         config.max_statements)
+    statements = 0
+    loops = 0
+    while statements < budget:
+        kind = _pick_statement(scope)
+        made = _gen_statement(scope, kind, recursive)
+        statements += made
+        if kind in ("for", "reduction", "while", "chase") and made:
+            loops += 1
+    if loops == 0:
+        _gen_statement(scope, "reduction", False)
+
+    # Tail: write every live scalar into the result array so the final
+    # memory image observes all computed state.
+    slot = 0
+    for name in scope.float_vars:
+        scope.emit("%s[%d] = %s;" % (_OUT_ARRAY, slot, name))
+        slot += 1
+    for name in scope.int_vars:
+        if slot >= config.out_size:
+            break
+        scope.emit("%s[%d] = (f64) %s;" % (_OUT_ARRAY, slot, name))
+        slot += 1
+
+    params = _param_specs(scope)
+    signature = ", ".join(
+        "%s: %s" % (p.name, p.kind.replace("*", "") + "*" * p.kind.count("*"))
+        for p in params
+    )
+    body = "\n".join(scope.lines)
+    source = "%stask fuzz_task(%s) {\n%s\n}\n" % (
+        "\n\n".join(header) + "\n\n" if header else "",
+        signature, body,
+    )
+    return GeneratedProgram(
+        seed=seed, source=source, params=tuple(params),
+        features=tuple(sorted(scope.features)),
+    )
+
+
+def _param_specs(scope: _Scope) -> list[ParamSpec]:
+    config = scope.config
+    specs = [
+        ParamSpec("A", "f64*", count=config.data_size, fill="floats",
+                  fill_seed=13),
+        ParamSpec("B", "f64*", count=config.data_size, fill="floats",
+                  fill_seed=17),
+        ParamSpec("I", "i64*", count=config.data_size, fill="ints",
+                  fill_seed=19, modulo=config.data_size),
+        ParamSpec("R", "f64*", count=config.out_size, fill="floats",
+                  fill_seed=23),
+        ParamSpec("n", "i64", value=scope.n_value),
+        ParamSpec("s", "f64", value=round(
+            1.0 + (scope.seed % 7) * 0.125, 4)),
+    ]
+    return specs
+
+
+def _pick_statement(scope: _Scope) -> str:
+    rng, config = scope.rng, scope.config
+    choices = ["assign", "store", "for", "reduction", "decl"]
+    if config.while_loops:
+        choices.append("while")
+    if config.chase and config.indirection:
+        choices.append("chase")
+    if config.branches:
+        choices.extend(["if", "if"])
+    if config.int_stores and config.indirection:
+        choices.append("istore")
+    if config.prefetches:
+        choices.append("prefetch")
+    return rng.choice(choices)
+
+
+def _gen_statement(scope: _Scope, kind: str, recursive: bool) -> int:
+    """Emit one statement (possibly compound); returns statements made."""
+    rng = scope.rng
+    if kind == "decl":
+        if rng.random() < 0.5 and scope.config.floats:
+            name = scope.fresh("v")
+            scope.emit("var %s: f64 = %s;" % (name, _float_expr(scope)))
+            scope.float_vars.append(name)
+        else:
+            name = scope.fresh("k")
+            scope.emit("var %s: i64 = %s;" % (name, _int_expr(scope)))
+            scope.int_vars.append(name)
+        return 1
+    if kind == "assign":
+        if rng.random() < 0.5 and scope.float_vars:
+            name = rng.choice(scope.float_vars)
+            scope.emit("%s = %s;" % (name, _float_expr(scope)))
+        else:
+            name = rng.choice(scope.int_vars)
+            scope.emit("%s = %s;" % (name, _int_expr(scope)))
+        return 1
+    if kind == "store":
+        array = rng.choice(_DATA_ARRAYS)
+        index, _ = _index_expr(scope)
+        scope.emit("%s[%s] = %s;" % (array, index, _float_expr(scope)))
+        scope.features.add("store")
+        return 1
+    if kind == "istore":
+        index, _ = _index_expr(scope)
+        value, _ = _index_expr(scope)
+        scope.emit("%s[%s] = %s;" % (_INDEX_ARRAY, index, value))
+        scope.features.add("istore")
+        return 1
+    if kind == "prefetch":
+        array = rng.choice(_DATA_ARRAYS + (_INDEX_ARRAY,))
+        index, _ = _index_expr(scope)
+        scope.emit("prefetch(%s[%s]);" % (array, index))
+        scope.features.add("prefetch")
+        return 1
+    if kind == "if":
+        scope.emit("if (%s) {" % _condition(scope))
+        scope.depth += 1
+        inner = _gen_statement(scope, rng.choice(("assign", "store")),
+                               recursive)
+        scope.depth -= 1
+        if rng.random() < 0.4:
+            scope.emit("} else {")
+            scope.depth += 1
+            inner += _gen_statement(scope, "assign", recursive)
+            scope.depth -= 1
+        scope.emit("}")
+        scope.features.add("branch")
+        return inner + 1
+    if kind in ("for", "reduction"):
+        return _gen_for(scope, reduction=(kind == "reduction"),
+                        recursive=recursive)
+    if kind == "while":
+        return _gen_while(scope, recursive)
+    if kind == "chase":
+        return _gen_chase(scope)
+    raise AssertionError("unknown statement kind %r" % kind)
+
+
+def _gen_for(scope: _Scope, reduction: bool, recursive: bool) -> int:
+    rng, config = scope.rng, scope.config
+    if scope.depth >= config.max_depth:
+        return _gen_statement(scope, "assign", recursive)
+    if rng.random() < 0.4:
+        bound_text, bound_value = "n", scope.n_value
+    else:
+        bound_value = rng.randint(2, 8)
+        bound_text = str(bound_value)
+    if scope.trip_product * bound_value > config.max_trip_product:
+        return _gen_statement(scope, "assign", recursive)
+    var = scope.fresh("i")
+    scope.emit("var %s: i64 = 0;" % var)
+    scope.emit("for (%s = 0; %s < %s; %s = %s + 1) {"
+               % (var, var, bound_text, var, var))
+    scope.depth += 1
+    scope.loop_vars.append((var, bound_value - 1))
+    scope.trip_product *= bound_value
+    made = 2
+    if reduction:
+        a, _ = _index_expr(scope)
+        b, _ = _index_expr(scope)
+        expr = "A[%s] * B[%s]" % (a, b)
+        if scope.helpers and rng.random() < 0.5:
+            helper = rng.choice(scope.helpers)
+            expr = ("hmul(A[%s], B[%s])" % (a, b) if helper == "hmul"
+                    else "hsel(A[%s], %s)" % (a, var))
+        target = rng.choice(scope.float_vars)
+        scope.emit("%s = %s + %s;" % (target, target, expr))
+        scope.features.add("reduction")
+        made += 1
+        if recursive and rng.random() < 0.5:
+            target = rng.choice(scope.int_vars)
+            scope.emit("%s = %s + hrec(%s %% 5);" % (target, target, var))
+            made += 1
+    else:
+        inner = ["assign", "store", "for"]
+        if scope.config.branches:
+            inner.append("if")
+        if scope.config.prefetches:
+            inner.append("prefetch")
+        for _ in range(rng.randint(1, 3)):
+            made += _gen_statement(scope, rng.choice(inner), recursive)
+        scope.features.add("loop")
+    scope.trip_product //= bound_value
+    scope.loop_vars.pop()
+    scope.depth -= 1
+    scope.emit("}")
+    return made + 1
+
+
+def _gen_while(scope: _Scope, recursive: bool) -> int:
+    rng, config = scope.rng, scope.config
+    if scope.depth >= config.max_depth:
+        return _gen_statement(scope, "assign", recursive)
+    count = rng.randint(2, 10)
+    if scope.trip_product * count > config.max_trip_product:
+        return _gen_statement(scope, "assign", recursive)
+    var = scope.fresh("w")
+    scope.emit("var %s: i64 = %d;" % (var, count))
+    scope.emit("while (%s > 0) {" % var)
+    scope.depth += 1
+    scope.loop_vars.append((var, count))
+    scope.trip_product *= count
+    made = 2
+    made += _gen_statement(scope, rng.choice(("assign", "store")), recursive)
+    scope.emit("%s = %s - 1;" % (var, var))
+    made += 1
+    scope.trip_product //= count
+    scope.loop_vars.pop()
+    scope.depth -= 1
+    scope.emit("}")
+    scope.features.add("while")
+    return made + 1
+
+
+def _gen_chase(scope: _Scope) -> int:
+    """Bounded pointer chase through the index array."""
+    rng, config = scope.rng, scope.config
+    if scope.depth >= config.max_depth:
+        return _gen_statement(scope, "assign", False)
+    steps = rng.randint(4, 24)
+    if scope.trip_product * steps > config.max_trip_product:
+        return _gen_statement(scope, "assign", False)
+    p = scope.fresh("p")
+    c = scope.fresh("c")
+    start, _ = _index_expr(scope)
+    target = rng.choice(scope.float_vars)
+    scope.emit("var %s: i64 = I[%s];" % (p, start))
+    scope.emit("var %s: i64 = 0;" % c)
+    scope.emit("while (%s < %d) {" % (c, steps))
+    scope.depth += 1
+    scope.emit("%s = %s + A[%s];" % (target, target, p))
+    scope.emit("%s = I[%s];" % (p, p))
+    scope.emit("%s = %s + 1;" % (c, c))
+    scope.depth -= 1
+    scope.emit("}")
+    scope.features.add("chase")
+    return 7
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def _index_expr(scope: _Scope, depth: int = 0) -> tuple:
+    """A non-negative index expression with a tracked maximum value.
+
+    Every returned ``(text, max_value)`` satisfies
+    ``max_value < config.data_size``, so any dynamic evaluation is in
+    bounds for the equally-sized data and index arrays.
+    """
+    rng, config = scope.rng, scope.config
+    size = config.data_size
+    roll = rng.random()
+    if scope.loop_vars and roll < 0.45:
+        var, vmax = rng.choice(scope.loop_vars)
+        if depth < 2 and rng.random() < 0.5:
+            coeff = rng.randint(1, 4)
+            offset = rng.randint(0, 7)
+            if vmax * coeff + offset < size:
+                return ("%s * %d + %d" % (var, coeff, offset),
+                        vmax * coeff + offset)
+        if vmax < size:
+            return var, vmax
+        return "%s %% %d" % (var, size), size - 1
+    if config.indirection and depth < 2 and roll < 0.65:
+        sub, _ = _index_expr(scope, depth + 1)
+        scope.features.add("indirection")
+        return "I[%s]" % sub, size - 1
+    if depth < 2 and roll < 0.8:
+        a, amax = _index_expr(scope, depth + 1)
+        modulo = rng.randint(2, size)
+        return "(%s + %d) %% %d" % (a, rng.randint(0, 7), modulo), modulo - 1
+    k = rng.randint(0, min(size, 8) - 1)
+    return str(k), k
+
+
+def _int_expr(scope: _Scope, depth: int = 0) -> str:
+    rng = scope.rng
+    atoms = ["%d" % rng.randint(-16, 16), "n"]
+    atoms.extend(scope.int_vars)
+    atoms.extend(name for name, _ in scope.loop_vars)
+    if scope.config.indirection:
+        index, _ = _index_expr(scope, depth=2)
+        atoms.append("I[%s]" % index)
+    atom = rng.choice(atoms)
+    if depth >= 2:
+        return atom
+    roll = rng.random()
+    if roll < 0.2:
+        return "(%s %s %s)" % (atom, rng.choice(("+", "-", "*")),
+                               _int_expr(scope, depth + 1))
+    if roll < 0.3:
+        return "(%s %s %d)" % (atom, rng.choice(("/", "%")),
+                               rng.randint(1, 7))
+    if roll < 0.38:
+        return "(%s %s %s)" % (atom, rng.choice(("&", "|", "^")),
+                               _int_expr(scope, depth + 1))
+    if roll < 0.44 and scope.config.floats:
+        # fptosi of an arbitrary float expression — division included,
+        # so inf/NaN operands exercise the saturating cast semantics.
+        scope.features.add("cast")
+        return "(i64) (%s)" % _float_expr(scope, depth + 1)
+    if roll < 0.5:
+        return "((%s < %s) + %s)" % (atom, _int_expr(scope, depth + 1),
+                                     rng.choice(("0", "1")))
+    return atom
+
+
+def _float_atom(scope: _Scope) -> str:
+    rng = scope.rng
+    atoms = [_float_literal(rng), "s"]
+    atoms.extend(scope.float_vars)
+    index, _ = _index_expr(scope, depth=2)
+    atoms.append("%s[%s]" % (rng.choice(_DATA_ARRAYS), index))
+    return rng.choice(atoms)
+
+
+def _float_expr(scope: _Scope, depth: int = 0) -> str:
+    rng = scope.rng
+    if not scope.config.floats:
+        return _float_atom(scope)
+    atom = _float_atom(scope)
+    if depth >= 2:
+        return atom
+    roll = rng.random()
+    if roll < 0.35:
+        return "(%s %s %s)" % (atom, rng.choice(("+", "-", "*")),
+                               _float_expr(scope, depth + 1))
+    if roll < 0.45:
+        return "(%s / %s)" % (atom, _float_expr(scope, depth + 1))
+    if roll < 0.55:
+        scope.features.add("cast")
+        return "((f64) %s * %s)" % (_int_expr(scope, depth + 1), atom)
+    if roll < 0.63 and "hmul" in scope.helpers:
+        return "hmul(%s, %s)" % (atom, _float_expr(scope, depth + 1))
+    if roll < 0.68 and "hsel" in scope.helpers:
+        return "hsel(%s, %s)" % (atom, _int_expr(scope, depth + 1))
+    return atom
+
+
+def _condition(scope: _Scope) -> str:
+    rng = scope.rng
+    roll = rng.random()
+    if roll < 0.4 and scope.config.floats:
+        return "%s %s %s" % (_float_atom(scope),
+                             rng.choice(("<", ">", "<=", ">=")),
+                             _float_literal(rng))
+    if roll < 0.7:
+        return "(%s %% 2) == 0" % rng.choice(
+            scope.int_vars + [name for name, _ in scope.loop_vars]
+            or ["n"]
+        )
+    lhs = _int_expr(scope, depth=1)
+    rhs = _int_expr(scope, depth=1)
+    cond = "%s %s %s" % (lhs, rng.choice(("<", ">", "==", "!=")), rhs)
+    if rng.random() < 0.3:
+        return "%s && %s" % (cond, _condition_simple(scope))
+    return cond
+
+
+def _condition_simple(scope: _Scope) -> str:
+    rng = scope.rng
+    var = rng.choice(scope.int_vars or ["n"])
+    return "%s %s %d" % (var, rng.choice(("<", ">=")), rng.randint(-4, 8))
+
+
+def _float_literal(rng: random.Random) -> str:
+    return "%.4f" % (rng.random() * 3.9 + 0.05)
+
+
+# -- synthetic failure injection -----------------------------------------------
+
+
+def inject_marker(program: GeneratedProgram, seed: int = 0
+                  ) -> GeneratedProgram:
+    """Insert the synthetic-failure marker statement at a random
+    statement position of the task body (used by ``fuzz reduce``'s
+    acceptance test: the reducer must strip everything else)."""
+    from ..frontend import ast as fast
+    from ..frontend.parser import parse
+    from .unparse import unparse_program
+
+    rng = random.Random("repro.fuzz.inject:%d:%d" % (program.seed, seed))
+    tree = parse(program.source)
+    task = next(f for f in tree.functions if f.name == program.task_name)
+    marker = fast.Assign(
+        target=fast.IndexExpr(base=fast.Name(ident=_OUT_ARRAY),
+                              index=fast.IntLiteral(value=0)),
+        value=fast.FloatLiteral(value=MARKER_LITERAL),
+    )
+    task.body.insert(rng.randint(0, len(task.body)), marker)
+    return program.with_source(
+        unparse_program(tree), note="synthetic marker injected",
+    )
+
+
+# -- negative mode -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvalidProgram:
+    """A malformed program plus the typed error family it must raise."""
+
+    source: str
+    corruption: str         # which corruption was applied
+    expects: tuple          # exception classes (any of) — typed errors
+
+
+def generate_invalid_program(seed: int,
+                             config: Optional[GeneratorConfig] = None,
+                             ) -> InvalidProgram:
+    """A seeded corruption of a valid program.
+
+    The contract under test: the frontend raises one of the *typed*
+    errors (``LexError`` / ``ParseError`` / ``LoweringError``) instead
+    of crashing with an arbitrary exception.
+    """
+    from ..frontend.lexer import LexError
+    from ..frontend.lower import LoweringError
+    from ..frontend.parser import ParseError
+
+    base = generate_program(seed, config).source
+    rng = random.Random("repro.fuzz.invalid:%d" % seed)
+    corruption = rng.choice((
+        "unterminated-block", "undefined-variable", "type-mismatch",
+        "unterminated-comment", "lex-garbage", "bad-assign-target",
+        "index-non-pointer", "bad-call-arity", "truncated",
+    ))
+    parse_errors = (ParseError,)
+    lower_errors = (LoweringError,)
+    lex_errors = (LexError,)
+
+    if corruption == "unterminated-block":
+        source = base[:base.rstrip().rfind("}")]
+        return InvalidProgram(source, corruption, parse_errors)
+    if corruption == "undefined-variable":
+        source = base.replace("{\n", "{\n  acc = no_such_var + 1.0;\n", 1)
+        return InvalidProgram(source, corruption, lower_errors)
+    if corruption == "type-mismatch":
+        source = base.replace("{\n", "{\n  var q: i64* = 3.5;\n", 1)
+        return InvalidProgram(source, corruption, lower_errors)
+    if corruption == "unterminated-comment":
+        return InvalidProgram(base + "\n/* dangling", corruption, lex_errors)
+    if corruption == "lex-garbage":
+        return InvalidProgram(base.replace(";", "; $", 1), corruption,
+                              lex_errors)
+    if corruption == "bad-assign-target":
+        source = base.replace("{\n", "{\n  1 + 2 = 3;\n", 1)
+        return InvalidProgram(source, corruption, parse_errors)
+    if corruption == "index-non-pointer":
+        source = base.replace("{\n", "{\n  n[0] = 1.0;\n", 1)
+        return InvalidProgram(source, corruption, lower_errors)
+    if corruption == "bad-call-arity":
+        source = base.replace("{\n", "{\n  acc = hmul(1.0);\n", 1)
+        expects = lower_errors
+        if "func hmul" not in base:
+            expects = lower_errors  # unknown function is also typed
+        return InvalidProgram(source, corruption, expects)
+    # truncated: cut the source at a random point inside the task body.
+    start = base.find("task fuzz_task")
+    cut = rng.randint(start + 20, max(start + 21, len(base) - 2))
+    return InvalidProgram(base[:cut], corruption,
+                          lex_errors + parse_errors + lower_errors)

@@ -1,0 +1,312 @@
+"""Delta-debugging minimization of a failing fuzz program.
+
+Given a program and a *predicate* ("does the interesting failure still
+reproduce?"), the reducer greedily shrinks the program while the
+predicate keeps holding, re-verifying after every candidate edit:
+
+1. drop whole helper functions;
+2. drop individual statements (deepest lists included);
+3. unwrap compound statements (``if``/``for``/``while`` → their body);
+4. shrink loop trip counts (halve integer loop bounds);
+5. simplify expressions (binary → one operand, halve int literals,
+   collapse float literals, call → first argument).
+
+The passes run to a combined fixed point under a hard budget of
+predicate evaluations.  A candidate on which the predicate *throws* is
+treated as not reproducing — a program that fails differently (e.g.
+stops compiling) must never be accepted as a reduction.
+
+Everything operates on the real frontend AST via
+:mod:`repro.fuzz.unparse`, so the output is ordinary compilable source
+ready to be checked into the corpus.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+
+from ..frontend import ast, parse
+from ..obs.events import get_collector
+from .generator import GeneratedProgram
+from .unparse import unparse_program
+
+
+class ReducerError(Exception):
+    """The predicate does not hold on the program handed to the reducer."""
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction run."""
+
+    program: GeneratedProgram          # minimized program
+    original_statements: int
+    reduced_statements: int
+    checks: int                        # predicate evaluations spent
+    improvements: int                  # accepted shrinking edits
+
+    @property
+    def ratio(self) -> float:
+        """Reduced size as a fraction of the original (0 < ratio <= 1)."""
+        if self.original_statements == 0:
+            return 1.0
+        return self.reduced_statements / self.original_statements
+
+
+def statement_count(source_or_program) -> int:
+    """Number of statement nodes across all functions (nested included)."""
+    source = getattr(source_or_program, "source", source_or_program)
+    tree = parse(source)
+    return sum(_count_block(f.body) for f in tree.functions)
+
+
+def _count_block(body: list) -> int:
+    total = 0
+    for stmt in body:
+        total += 1
+        if isinstance(stmt, ast.If):
+            total += _count_block(stmt.then_body)
+            total += _count_block(stmt.else_body)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            total += _count_block(stmt.body)
+    return total
+
+
+def reduce_program(program: GeneratedProgram,
+                   predicate: Callable[[GeneratedProgram], bool],
+                   max_checks: int = 2000) -> ReductionResult:
+    """Shrink ``program`` while ``predicate`` keeps returning True."""
+    collector = get_collector()
+    state = {"checks": 0, "improvements": 0}
+
+    def still_fails(candidate: GeneratedProgram) -> bool:
+        state["checks"] += 1
+        collector.counter("fuzz.reduction_steps", 1, cat="fuzz")
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False  # failing *differently* is not reproducing
+
+    if not still_fails(program):
+        raise ReducerError(
+            "predicate does not hold on the original program "
+            "(seed %d); nothing to reduce" % program.seed
+        )
+    original_count = statement_count(program)
+
+    current = program
+    passes = (_drop_functions, _drop_statements, _unwrap_blocks,
+              _shrink_trips, _simplify_exprs)
+    progress = True
+    while progress and state["checks"] < max_checks:
+        progress = False
+        for pass_fn in passes:
+            accepted = True
+            while accepted and state["checks"] < max_checks:
+                accepted = False
+                tree = parse(current.source)
+                for candidate_tree in pass_fn(tree):
+                    if state["checks"] >= max_checks:
+                        break
+                    candidate = current.with_source(
+                        unparse_program(candidate_tree),
+                        note="reduced from seed %d" % program.seed,
+                    )
+                    if still_fails(candidate):
+                        current = candidate
+                        state["improvements"] += 1
+                        accepted = True
+                        progress = True
+                        break
+    return ReductionResult(
+        program=current,
+        original_statements=original_count,
+        reduced_statements=statement_count(current),
+        checks=state["checks"],
+        improvements=state["improvements"],
+    )
+
+
+# -- candidate enumeration -----------------------------------------------------
+#
+# Each pass yields freshly deep-copied trees, one edit applied per
+# candidate, in a deterministic order.  Enumeration works on flat edit
+# indices so the edit can be re-located inside the copy.
+
+
+def _stmt_positions(tree: ast.Program) -> list:
+    """All (statement_list, index) positions, outermost first."""
+    positions: list = []
+
+    def walk(body: list) -> None:
+        for index, stmt in enumerate(body):
+            positions.append((body, index))
+            if isinstance(stmt, ast.If):
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                walk(stmt.body)
+
+    for func in tree.functions:
+        walk(func.body)
+    return positions
+
+
+def _drop_functions(tree: ast.Program):
+    for index in range(len(tree.functions)):
+        if tree.functions[index].is_task:
+            continue
+        candidate = copy.deepcopy(tree)
+        del candidate.functions[index]
+        yield candidate
+
+
+def _drop_statements(tree: ast.Program):
+    total = len(_stmt_positions(tree))
+    # Larger chunks first (classic ddmin flavour), then singles;
+    # reversed order keeps earlier indices valid w.r.t. the original.
+    for chunk in (4, 2, 1):
+        for start in range(total - chunk, -1, -1):
+            candidate = copy.deepcopy(tree)
+            positions = _stmt_positions(candidate)
+            group = positions[start:start + chunk]
+            owner = group[0][0]
+            if any(body is not owner for body, _ in group):
+                continue  # chunk spans lists; singles will cover these
+            for body, index in reversed(group):
+                del body[index]
+            yield candidate
+
+
+def _unwrap_blocks(tree: ast.Program):
+    total = len(_stmt_positions(tree))
+    for flat in range(total):
+        body, index = _stmt_positions(tree)[flat]
+        stmt = body[index]
+        if not isinstance(stmt, (ast.If, ast.For, ast.While)):
+            continue
+        candidate = copy.deepcopy(tree)
+        body, index = _stmt_positions(candidate)[flat]
+        stmt = body[index]
+        if isinstance(stmt, ast.If):
+            replacement = stmt.then_body + stmt.else_body
+        elif isinstance(stmt, ast.For):
+            replacement = ([stmt.init] if stmt.init else []) + stmt.body
+        else:
+            replacement = stmt.body
+        body[index:index + 1] = replacement
+        yield candidate
+
+
+def _shrink_trips(tree: ast.Program):
+    total = len(_stmt_positions(tree))
+    for flat in range(total):
+        body, index = _stmt_positions(tree)[flat]
+        stmt = body[index]
+        if not isinstance(stmt, (ast.For, ast.While)):
+            continue
+        cond = stmt.cond
+        if (isinstance(cond, ast.BinaryExpr)
+                and isinstance(cond.rhs, ast.IntLiteral)
+                and cond.rhs.value > 1):
+            candidate = copy.deepcopy(tree)
+            body, index = _stmt_positions(candidate)[flat]
+            body[index].cond.rhs.value //= 2
+            yield candidate
+
+
+def _expr_slots(tree: ast.Program) -> list:
+    """All (owner, attribute, expr) slots reachable from statements."""
+    slots: list = []
+
+    def visit(owner, attr) -> None:
+        expr = getattr(owner, attr)
+        if expr is None or not isinstance(expr, ast.Expr):
+            return
+        slots.append((owner, attr))
+        if isinstance(expr, ast.BinaryExpr):
+            visit(expr, "lhs")
+            visit(expr, "rhs")
+        elif isinstance(expr, (ast.UnaryExpr, ast.CastExpr)):
+            visit(expr, "operand")
+        elif isinstance(expr, ast.IndexExpr):
+            visit(expr, "index")
+        elif isinstance(expr, ast.CallExpr):
+            for i in range(len(expr.args)):
+                slots.append((expr.args, i))
+
+    def walk(body: list) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.VarDecl):
+                visit(stmt, "init")
+            elif isinstance(stmt, ast.Assign):
+                visit(stmt, "value")
+                if isinstance(stmt.target, ast.IndexExpr):
+                    visit(stmt.target, "index")
+            elif isinstance(stmt, ast.If):
+                visit(stmt, "cond")
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, ast.For):
+                visit(stmt, "cond")
+                walk(stmt.body)
+            elif isinstance(stmt, ast.While):
+                visit(stmt, "cond")
+                walk(stmt.body)
+            elif isinstance(stmt, ast.Return):
+                visit(stmt, "value")
+            elif isinstance(stmt, ast.ExprStmt):
+                visit(stmt, "expr")
+            elif isinstance(stmt, ast.PrefetchStmt):
+                visit(stmt, "address")
+
+    for func in tree.functions:
+        walk(func.body)
+    return slots
+
+
+def _slot_get(slot):
+    owner, key = slot
+    return owner[key] if isinstance(owner, list) else getattr(owner, key)
+
+
+def _slot_set(slot, value) -> None:
+    owner, key = slot
+    if isinstance(owner, list):
+        owner[key] = value
+    else:
+        setattr(owner, key, value)
+
+
+def _simplify_exprs(tree: ast.Program):
+    total = len(_expr_slots(tree))
+    for flat in range(total):
+        expr = _slot_get(_expr_slots(tree)[flat])
+        replacements = 0
+        if isinstance(expr, ast.BinaryExpr):
+            replacements = 2
+        elif isinstance(expr, (ast.UnaryExpr, ast.CastExpr)):
+            replacements = 1
+        elif isinstance(expr, ast.IntLiteral) and abs(expr.value) > 1:
+            replacements = 1
+        elif isinstance(expr, ast.FloatLiteral) and expr.value != 1.0:
+            replacements = 1
+        elif isinstance(expr, ast.CallExpr) and expr.args:
+            replacements = 1
+        for which in range(replacements):
+            candidate = copy.deepcopy(tree)
+            slot = _expr_slots(candidate)[flat]
+            expr = _slot_get(slot)
+            if isinstance(expr, ast.BinaryExpr):
+                _slot_set(slot, expr.lhs if which == 0 else expr.rhs)
+            elif isinstance(expr, (ast.UnaryExpr, ast.CastExpr)):
+                _slot_set(slot, expr.operand)
+            elif isinstance(expr, ast.IntLiteral):
+                expr.value //= 2
+            elif isinstance(expr, ast.FloatLiteral):
+                expr.value = 1.0
+            elif isinstance(expr, ast.CallExpr):
+                _slot_set(slot, expr.args[0])
+            yield candidate

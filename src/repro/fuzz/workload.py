@@ -1,0 +1,55 @@
+"""Engine adapter: wrap a :class:`GeneratedProgram` as a ``Workload``.
+
+Generated programs ride through the *same* machinery the hand-written
+benchmarks do — ``compile()`` → ``instantiate()`` → profiler →
+scheduler — which is what makes the serial-vs-pooled engine oracle
+meaningful.  The class is defined at module level and carries only the
+(picklable) program dataclass, so the engine's process pool can ship it
+to workers unchanged.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import SimMemory
+from ..runtime.task import TaskInstance, TaskKind
+from ..workloads.base import PaperRow, Workload, fill_floats, fill_ints
+from .generator import GeneratedProgram, ParamSpec
+
+
+class FuzzWorkload(Workload):
+    """One generated program as a single-task workload.
+
+    ``scale`` is ignored: a fuzz program is its own fixed-size unit of
+    work (the generator already bounds trip counts), and oracles want
+    bit-identical runs, not scaled families.
+    """
+
+    paper = PaperRow(0, 0, 0, 0.0, 0.0)
+
+    def __init__(self, program: GeneratedProgram):
+        self.program = program
+        self.name = "fuzz-%d" % program.seed
+
+    def source(self) -> str:
+        return self.program.source
+
+    def build(self, memory: SimMemory, scale: int,
+              kinds: dict[str, TaskKind]) -> list[TaskInstance]:
+        args = [materialize_param(memory, spec)
+                for spec in self.program.params]
+        return [TaskInstance(kinds[self.program.task_name], args)]
+
+
+def materialize_param(memory: SimMemory, spec: ParamSpec):
+    """Allocate (arrays) or produce (scalars) one task argument."""
+    if spec.kind.endswith("*"):
+        if spec.fill == "ints":
+            init = fill_ints(spec.count, spec.modulo, seed=spec.fill_seed)
+        else:
+            init = fill_floats(spec.count, seed=spec.fill_seed)
+        elem_size = 8
+        return memory.alloc_array(elem_size, spec.count, spec.name,
+                                  init=init)
+    if spec.kind.startswith("f"):
+        return float(spec.value)
+    return int(spec.value)

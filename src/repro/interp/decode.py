@@ -60,7 +60,7 @@ from ..ir import (
     Store,
     Undef,
 )
-from .interpreter import UNDEF, InterpError
+from .interpreter import UNDEF, InterpError, fptosi
 
 # Integer opcodes of the decoded operation records.  The fast
 # interpreter dispatches on these with literal compares, ordered by
@@ -211,7 +211,7 @@ CMP_FNS = {
 }
 
 CAST_FNS = {
-    "sext": int, "trunc": int, "bitcast": int, "fptosi": int,
+    "sext": int, "trunc": int, "bitcast": int, "fptosi": fptosi,
     "sitofp": float, "fpext": float, "fptrunc": float,
 }
 

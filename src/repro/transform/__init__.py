@@ -5,7 +5,12 @@ from .dce import dead_code_elimination, is_trivially_dead
 from .gvn import global_value_numbering
 from .inline import InlineError, can_inline, inline_all_calls, inline_call
 from .mem2reg import mem2reg, promotable_allocas
-from .pipeline import optimize_function, optimize_module
+from .pipeline import (
+    PassVerificationError,
+    optimize_function,
+    optimize_module,
+    verify_passes_enabled,
+)
 from .simplify_cfg import simplify_cfg
 
 __all__ = [
@@ -13,6 +18,7 @@ __all__ = [
     "global_value_numbering",
     "InlineError", "can_inline", "inline_all_calls", "inline_call",
     "mem2reg", "promotable_allocas",
-    "optimize_function", "optimize_module",
+    "PassVerificationError",
+    "optimize_function", "optimize_module", "verify_passes_enabled",
     "simplify_cfg",
 ]

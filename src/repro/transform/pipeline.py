@@ -11,11 +11,21 @@ recorded as a wall-clock span (category ``compiler.pass``) carrying its
 change count; the whole fixed-point run is one enclosing
 ``pipeline.optimize`` span.  Disabled, the only cost is one truthiness
 check per ``optimize_function`` call.
+
+Setting ``REPRO_VERIFY_PASSES=1`` (or passing ``verify_passes=True``)
+re-runs the IR verifier after *every individual pass* and raises
+:class:`PassVerificationError` naming the offending pass — the mode the
+fuzzing subsystem (:mod:`repro.fuzz`) runs under, so a pass that breaks
+an invariant is blamed directly instead of surfacing as a mystery
+failure three passes later.
 """
 
 from __future__ import annotations
 
-from ..ir import Function, Module, verify_function
+import os
+from typing import Optional
+
+from ..ir import Function, Module, VerificationError, verify_function
 from ..obs.events import get_collector
 from .dce import dead_code_elimination
 from .gvn import global_value_numbering
@@ -31,37 +41,75 @@ _PASSES = (
 )
 
 
-def _run_pass(collector, name: str, pass_fn, func: Function) -> int:
+class PassVerificationError(VerificationError):
+    """IR verification failed immediately after one named pass."""
+
+    def __init__(self, pass_name: str, function: str, problems: list[str]):
+        super().__init__(
+            ["after pass %r on %s: %s" % (pass_name, function, p)
+             for p in problems]
+        )
+        self.pass_name = pass_name
+        self.function = function
+
+
+def verify_passes_enabled(verify_passes: Optional[bool] = None) -> bool:
+    """Resolve the per-pass verification switch.
+
+    An explicit ``verify_passes`` wins; ``None`` defers to the
+    ``REPRO_VERIFY_PASSES`` environment variable (any value other than
+    empty or ``0`` enables it).
+    """
+    if verify_passes is not None:
+        return verify_passes
+    return os.environ.get("REPRO_VERIFY_PASSES", "") not in ("", "0")
+
+
+def _run_pass(collector, name: str, pass_fn, func: Function,
+              verify_each: bool) -> int:
     if not collector.enabled:
-        return pass_fn(func)
-    with collector.span("pass." + name, cat="compiler.pass",
-                        args={"function": func.name}) as span:
         changes = pass_fn(func)
-        span.args["changes"] = int(changes)
+    else:
+        with collector.span("pass." + name, cat="compiler.pass",
+                            args={"function": func.name}) as span:
+            changes = pass_fn(func)
+            span.args["changes"] = int(changes)
+    if verify_each:
+        try:
+            verify_function(func)
+        except PassVerificationError:
+            raise
+        except VerificationError as exc:
+            raise PassVerificationError(name, func.name, exc.problems) from None
     return changes
 
 
-def optimize_function(func: Function, verify: bool = True) -> Function:
+def optimize_function(func: Function, verify: bool = True,
+                      verify_passes: Optional[bool] = None) -> Function:
     """mem2reg + GVN + CFG simplification + DCE, to a fixed point."""
     collector = get_collector()
+    verify_each = verify_passes_enabled(verify_passes)
     with collector.span("pipeline.optimize", cat="compiler",
                         args={"function": func.name}) as span:
-        _run_pass(collector, "mem2reg", mem2reg, func)
+        _run_pass(collector, "mem2reg", mem2reg, func, verify_each)
         iterations = 0
         for _ in range(4):
             iterations += 1
             changed = False
             for name, pass_fn in _PASSES:
-                changed |= _run_pass(collector, name, pass_fn, func) > 0
+                changed |= _run_pass(
+                    collector, name, pass_fn, func, verify_each
+                ) > 0
             if not changed:
                 break
         span.args["iterations"] = iterations
-        if verify:
+        if verify and not verify_each:
             verify_function(func)
     return func
 
 
-def optimize_module(module: Module, verify: bool = True) -> Module:
+def optimize_module(module: Module, verify: bool = True,
+                    verify_passes: Optional[bool] = None) -> Module:
     for func in module.functions.values():
-        optimize_function(func, verify=verify)
+        optimize_function(func, verify=verify, verify_passes=verify_passes)
     return module

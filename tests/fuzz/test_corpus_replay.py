@@ -1,0 +1,75 @@
+"""Corpus format round-trip, and the checked-in regression replay gate."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusError,
+    load_corpus,
+    load_program,
+    save_program,
+)
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracles import run_oracles
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestFormat:
+    def test_round_trip(self, tmp_path):
+        program = generate_program(12)
+        path = str(tmp_path / "p.fuzz")
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.source == program.source
+        assert loaded.params == program.params
+        assert loaded.seed == program.seed
+        assert loaded.features == program.features
+
+    def test_missing_magic_raises(self, tmp_path):
+        path = str(tmp_path / "bad.fuzz")
+        with open(path, "w") as handle:
+            handle.write("task fuzz_task() {\n}\n")
+        with pytest.raises(CorpusError):
+            load_program(path)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = str(tmp_path / "bad.fuzz")
+        with open(path, "w") as handle:
+            handle.write("//! fuzz-corpus v1\n//! param {not json\nx\n")
+        with pytest.raises(CorpusError):
+            load_program(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = str(tmp_path / "empty.fuzz")
+        with open(path, "w") as handle:
+            handle.write("//! fuzz-corpus v1\n//! seed 3\n")
+        with pytest.raises(CorpusError):
+            load_program(path)
+
+    def test_absent_directory_is_empty_corpus(self, tmp_path):
+        assert load_corpus(str(tmp_path / "missing")) == []
+
+
+class TestRegressionReplay:
+    def test_corpus_is_not_empty(self):
+        assert load_corpus(CORPUS_DIR), (
+            "the checked-in corpus under tests/fuzz/corpus/ disappeared"
+        )
+
+    def test_every_entry_replays_clean(self):
+        for name, program in load_corpus(CORPUS_DIR):
+            violations = run_oracles(program)
+            assert violations == [], (
+                "corpus entry %s violates: %s"
+                % (name, [v.headline() for v in violations])
+            )
+
+    def test_entries_carry_failure_notes(self):
+        # Reduced reproducers must document their failure mode.
+        entries = dict(load_corpus(CORPUS_DIR))
+        assert "fptosi-inf.fuzz" in entries
+        assert "failure mode" in entries["fptosi-inf.fuzz"].note

@@ -1,0 +1,140 @@
+"""Generator guarantees: determinism, validity, termination, coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import LexError, LoweringError, ParseError, parse
+from repro.fuzz.generator import (
+    MARKER_TEXT,
+    GeneratorConfig,
+    generate_invalid_program,
+    generate_program,
+    inject_marker,
+)
+from repro.fuzz.oracles import FUZZ_MAX_STEPS, prepare_case
+from repro.fuzz.workload import materialize_param
+from repro.interp.fast import FastInterpreter
+from repro.interp.memory import SimMemory
+
+SEEDS = range(40)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for seed in (0, 7, 123, 99999):
+            first = generate_program(seed)
+            second = generate_program(seed)
+            assert first == second
+
+    def test_different_seeds_differ(self):
+        sources = {generate_program(seed).source for seed in SEEDS}
+        assert len(sources) == len(SEEDS)
+
+
+class TestValidity:
+    def test_all_seeds_compile_and_verify(self):
+        # prepare_case runs the optimizer with per-pass verification
+        # and verifies generated access functions.
+        for seed in SEEDS:
+            prepare_case(generate_program(seed), verify_passes=True)
+
+    def test_all_seeds_terminate_within_budget(self):
+        for seed in SEEDS:
+            program = generate_program(seed)
+            case = prepare_case(program)
+            memory = SimMemory()
+            args = [materialize_param(memory, p) for p in program.params]
+            trace = FastInterpreter(memory, max_steps=FUZZ_MAX_STEPS).run(
+                case.execute, args
+            )
+            # Far below the oracle budget: termination by construction.
+            assert trace.instructions < FUZZ_MAX_STEPS // 10
+
+    def test_accesses_stay_in_bounds(self):
+        # SimMemory has check_bounds=True by default: an out-of-bounds
+        # address raises, so a clean run is the assertion.
+        for seed in SEEDS:
+            program = generate_program(seed)
+            case = prepare_case(program)
+            memory = SimMemory()
+            args = [materialize_param(memory, p) for p in program.params]
+            FastInterpreter(memory, max_steps=FUZZ_MAX_STEPS).run(
+                case.execute, args
+            )
+
+
+class TestKnobs:
+    def test_feature_switches_prune_features(self):
+        config = GeneratorConfig(chase=False, calls=False, recursion=False,
+                                 while_loops=False, prefetches=False)
+        for seed in range(20):
+            program = generate_program(seed, config)
+            tags = set(program.features)
+            assert not tags & {"chase", "call", "recursion", "while",
+                               "prefetch"}
+
+    def test_size_knob_bounds_statements(self):
+        small = GeneratorConfig(max_statements=8)
+        for seed in range(10):
+            program = generate_program(seed, small)
+            # Emitted lines are a proxy for statement budget.
+            body = program.source.split("task fuzz_task")[1]
+            assert body.count(";") < 60
+
+    def test_feature_space_covered_across_seeds(self):
+        tags: set = set()
+        for seed in range(150):
+            tags.update(generate_program(seed).features)
+        assert {"loop", "store", "branch", "reduction", "chase",
+                "indirection", "while", "call", "cast"} <= tags
+
+    def test_both_access_methods_reached(self):
+        methods = {prepare_case(generate_program(s)).method
+                   for s in range(60)}
+        assert "affine" in methods
+        assert "skeleton" in methods
+
+
+class TestInjectMarker:
+    def test_marker_program_compiles_and_carries_marker(self):
+        for seed in (0, 3, 11):
+            program = inject_marker(generate_program(seed))
+            assert MARKER_TEXT in program.source
+            prepare_case(program)
+
+    def test_injection_is_deterministic(self):
+        assert inject_marker(generate_program(4)) == inject_marker(
+            generate_program(4)
+        )
+
+
+class TestNegativeMode:
+    def test_invalid_programs_raise_typed_errors(self):
+        from repro.frontend import compile_source
+
+        corruptions = set()
+        for seed in range(60):
+            invalid = generate_invalid_program(seed)
+            corruptions.add(invalid.corruption)
+            with pytest.raises(invalid.expects):
+                compile_source(invalid.source, name="invalid")
+        # The seeded choice must exercise several corruption kinds.
+        assert len(corruptions) >= 5
+
+    def test_typed_errors_only(self):
+        # Whatever is raised must be one of the frontend's typed errors,
+        # never an arbitrary crash.
+        from repro.frontend import compile_source
+
+        for seed in range(60):
+            invalid = generate_invalid_program(seed)
+            try:
+                compile_source(invalid.source, name="invalid")
+            except (LexError, ParseError, LoweringError):
+                pass
+
+
+def test_generated_source_parses_standalone():
+    for seed in SEEDS:
+        parse(generate_program(seed).source)

@@ -1,0 +1,113 @@
+"""Per-pass IR verification (REPRO_VERIFY_PASSES / verify_passes=...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.transform import (
+    PassVerificationError,
+    optimize_function,
+    optimize_module,
+    verify_passes_enabled,
+)
+from repro.transform import pipeline
+
+SOURCE = """
+task t(A: f64*, n: i64) {
+  var i: i64 = 0;
+  var acc: f64 = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + A[i];
+  }
+  A[0] = acc;
+}
+"""
+
+
+def _fresh_function():
+    module = compile_source(SOURCE, name="verify-passes")
+    return module.functions["t"]
+
+
+class TestSwitchResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+        assert verify_passes_enabled(False) is False
+        monkeypatch.delenv("REPRO_VERIFY_PASSES")
+        assert verify_passes_enabled(True) is True
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY_PASSES", raising=False)
+        assert verify_passes_enabled() is False
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+        assert verify_passes_enabled() is True
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "0")
+        assert verify_passes_enabled() is False
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "")
+        assert verify_passes_enabled() is False
+
+
+class TestCleanPipeline:
+    def test_optimize_with_verification_succeeds(self):
+        optimize_function(_fresh_function(), verify_passes=True)
+
+    def test_env_var_drives_module_optimization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+        module = compile_source(SOURCE, name="verify-passes")
+        optimize_module(module)
+
+
+def _corrupt_once():
+    """A pass that drops the entry terminator on its first invocation
+    and reports no changes (so the fixed point ends immediately)."""
+    state = {"done": False}
+
+    def evil(func):
+        if not state["done"]:
+            state["done"] = True
+            func.blocks[-1].instructions.pop()
+        return 0
+
+    return evil
+
+
+class TestCorruptingPassIsBlamed:
+    def test_offending_pass_named(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "_PASSES",
+                            (("evil", _corrupt_once()),))
+        with pytest.raises(PassVerificationError) as err:
+            optimize_function(_fresh_function(), verify_passes=True)
+        assert err.value.pass_name == "evil"
+        assert err.value.function == "t"
+        assert any("evil" in p for p in err.value.problems)
+
+    def test_without_flag_corruption_surfaces_later(self, monkeypatch):
+        from repro.ir import VerificationError
+
+        monkeypatch.setattr(pipeline, "_PASSES",
+                            (("evil", _corrupt_once()),))
+        monkeypatch.delenv("REPRO_VERIFY_PASSES", raising=False)
+        # The final whole-pipeline verify still catches it, but cannot
+        # name the pass.
+        with pytest.raises(VerificationError) as err:
+            optimize_function(_fresh_function())
+        assert not isinstance(err.value, PassVerificationError)
+
+
+class TestFuzzRunsWithVerification:
+    def test_prepare_case_verifies_each_pass(self, monkeypatch):
+        from repro.fuzz.generator import generate_program
+        from repro.fuzz.oracles import prepare_case
+
+        calls = {"n": 0}
+        real = pipeline.verify_function
+
+        def counting_verify(func):
+            calls["n"] += 1
+            return real(func)
+
+        monkeypatch.setattr(pipeline, "verify_function", counting_verify)
+        prepare_case(generate_program(0), verify_passes=True)
+        # mem2reg + >=1 fixed-point iteration over 4 passes, per function.
+        assert calls["n"] >= 5
