@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+from ..interp.fast import resolve_interp
+from ..interp.trace import TraceStore
 from ..runtime.profiler import StreamProfile, TaskStreamProfiler
 from ..runtime.task import Scheme, TaskProfile, TaskRef
 from ..sim.cache import AccessCounts, LEVELS
@@ -95,6 +97,7 @@ def profile_workload(workload: Workload, scale: int = 1,
                      options: Optional[AccessPhaseOptions] = None,
                      schemes: Sequence[Union[Scheme, str]] = ALL_SCHEMES,
                      interp: Optional[str] = None,
+                     trace_store: Optional[TraceStore] = None,
                      ) -> WorkloadRun:
     """Compile ``workload`` once and profile it under every scheme.
 
@@ -105,20 +108,35 @@ def profile_workload(workload: Workload, scale: int = 1,
     downstream would be invalid, so it raises :class:`EngineError`
     instead of silently keeping the last count.
 
-    ``interp`` picks the interpreter implementation (``"fast"`` /
-    ``"reference"``; ``None`` defers to ``$REPRO_INTERP``, then
-    ``"fast"``).  Both produce byte-identical profiles — the choice is
-    deliberately *not* part of the engine's cache key.
+    ``interp`` picks the interpreter implementation (``"replay"`` /
+    ``"fast"`` / ``"reference"``; ``None`` defers to ``$REPRO_INTERP``,
+    then ``"replay"``).  All produce byte-identical profiles — the
+    choice is deliberately *not* part of the engine's cache key.  Under
+    ``"replay"`` the first scheme records each phase's event trace and
+    the remaining schemes replay the (scheme-invariant) execute streams
+    through the cache model instead of re-interpreting them; access
+    phases, which differ per scheme, always interpret.
+
+    ``trace_store`` keeps the recorded traces for the caller (the
+    ablation sweeps and the profiling benchmark read them); passing one
+    forces recording even for a single-scheme matrix.
     """
     config = config or MachineConfig()
+    resolved_interp = resolve_interp(interp)
+    store = trace_store
+    if (store is None and resolved_interp == "replay"
+            and len(tuple(schemes)) > 1):
+        store = TraceStore()
     compiled = workload.compile(options)
     profiles: dict[str, StreamProfile] = {}
     task_count: Optional[int] = None
     for scheme in schemes:
         scheme = Scheme.coerce(scheme, context="profile_workload")
         memory, tasks, _ = workload.instantiate(scale=scale, compiled=compiled)
-        profiler = TaskStreamProfiler(memory, config, interp=interp)
-        profiles[scheme.value] = profiler.profile(tasks, scheme)
+        profiler = TaskStreamProfiler(memory, config, interp=resolved_interp)
+        profiles[scheme.value] = profiler.profile(
+            tasks, scheme, trace_store=store,
+        )
         if task_count is None:
             task_count = len(tasks)
         elif task_count != len(tasks):

@@ -1,5 +1,11 @@
 """Evaluation harness for every table and figure in Section 6."""
 
+from .ablation import (
+    ABLATE_CONFIGS,
+    SWEEP_PARAMS,
+    ablate_workload,
+    render_ablation_report,
+)
 from .experiments import (
     FIGURE3_CONFIGS,
     FIGURE4_CONFIGS,
@@ -54,6 +60,8 @@ from .tuning import (
 )
 
 __all__ = [
+    "ABLATE_CONFIGS", "SWEEP_PARAMS",
+    "ablate_workload", "render_ablation_report",
     "FIGURE3_CONFIGS", "FIGURE4_CONFIGS", "FIGURE4_WORKLOADS",
     "MANIFEST_CONFIGS", "Figure3Row",
     "Figure4Point", "Figure4Series", "HeadlineNumbers", "Table1Row",

@@ -4,7 +4,10 @@ Experiments: ``table1``, ``figure1``, ``figure2``, ``figure3``,
 ``figure4``, ``headline``, ``all``, ``trace <app>`` (fully-observed
 single-workload run writing a Chrome trace, a JSONL event log, and an
 explain report), ``tune <app>`` (auto-tune the workload's operating
-points and write a markdown + JSON tuning report),
+points and write a markdown + JSON tuning report), ``ablate <app>
+--vary PARAM --values LIST`` (machine-config sweep: record the scheme
+matrix once, re-simulate every variant by replaying the recorded
+traces through a fresh cache hierarchy — no re-interpretation),
 ``cache {stats,clear}`` (inspect / empty the persistent profile cache),
 ``fuzz {run,replay,reduce}`` (differential fuzzing: generate seeded
 random programs through every oracle, replay the checked-in regression
@@ -62,6 +65,7 @@ from . import (
     table1_rows,
     trace_workload,
 )
+from .ablation import SWEEP_PARAMS, ablate_workload, render_ablation_report
 from .tuning import export_tuning, render_tuning_report
 
 #: Experiments needing the full (all-workload) profiling matrix.
@@ -99,7 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--interp", choices=INTERP_CHOICES, default=None,
         help="interpreter implementation (default: $REPRO_INTERP or "
-             "'fast'; both produce byte-identical profiles)",
+             "'replay'; all produce byte-identical profiles)",
     )
 
     parser = argparse.ArgumentParser(
@@ -146,6 +150,27 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument(
         "--out", metavar="PREFIX", default=None,
         help="artifact path prefix (default: the app name)",
+    )
+    ablate = sub.add_parser(
+        "ablate", parents=[common],
+        help="machine-config sweep re-simulated from recorded traces",
+    )
+    ablate.add_argument(
+        "app", nargs="?", default=None,
+        help="workload name (e.g. 'cholesky')",
+    )
+    ablate.add_argument(
+        "--vary", metavar="PARAM", default=None,
+        help="machine parameter to sweep, one of: %s"
+             % ", ".join(sorted(SWEEP_PARAMS)),
+    )
+    ablate.add_argument(
+        "--values", metavar="LIST", default=None,
+        help="comma-separated parameter values (e.g. '40,65,120')",
+    )
+    ablate.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as JSON to PATH",
     )
     serve = sub.add_parser(
         "serve", help="run the long-lived evaluation service daemon",
@@ -291,12 +316,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-failures", metavar="DIR", default=None,
         help="save every violating program as a corpus file under DIR",
     )
+    fuzz_run_p.add_argument(
+        "--interp", choices=INTERP_CHOICES, default=None,
+        help="interpreter the oracles' profiling runs use "
+             "(default: $REPRO_INTERP or 'replay')",
+    )
     fuzz_replay_p = fuzz_sub.add_parser(
         "replay", help="replay the regression corpus through all oracles",
     )
     fuzz_replay_p.add_argument(
         "--corpus", metavar="DIR", default=None,
         help="corpus directory (default tests/fuzz/corpus)",
+    )
+    fuzz_replay_p.add_argument(
+        "--interp", choices=INTERP_CHOICES, default=None,
+        help="interpreter the oracles' profiling runs use "
+             "(default: $REPRO_INTERP or 'replay')",
     )
     fuzz_reduce_p = fuzz_sub.add_parser(
         "reduce", help="delta-debug a failing program to a minimal "
@@ -392,6 +427,8 @@ def main(argv=None) -> int:
         return _run_trace(args, parser)
     if args.experiment == "tune":
         return _run_tune(args, parser)
+    if args.experiment == "ablate":
+        return _run_ablate(args, parser)
 
     config = MachineConfig()
     sections = []
@@ -767,7 +804,7 @@ def _run_tune(args, parser) -> int:
         result = tune_workload(
             args.app, objective=args.objective, strategy=args.strategy,
             scale=args.scale, jobs=args.jobs, cache=not args.no_cache,
-            cache_dir=args.cache_dir,
+            cache_dir=args.cache_dir, interp=args.interp,
         )
     stats = result.stats
     print(
@@ -782,6 +819,48 @@ def _run_tune(args, parser) -> int:
     print(render_tuning_report(result))
     print("wrote %s" % artifacts.report_path, file=sys.stderr)
     print("wrote %s" % artifacts.json_path, file=sys.stderr)
+    return 0
+
+
+def _run_ablate(args, parser) -> int:
+    import json
+
+    if args.app is None:
+        parser.error(
+            "ablate needs a workload name, one of: %s"
+            % ", ".join(sorted(w.name for w in ALL_WORKLOADS))
+        )
+    try:
+        workload = workload_by_name(args.app)
+    except KeyError:
+        parser.error(
+            "unknown workload %r; choose from: %s"
+            % (args.app, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+        )
+    if not args.vary or args.vary not in SWEEP_PARAMS:
+        parser.error(
+            "ablate needs --vary PARAM, one of: %s"
+            % ", ".join(sorted(SWEEP_PARAMS))
+        )
+    if not args.values:
+        parser.error("ablate needs --values LIST (e.g. '40,65,120')")
+    try:
+        values = [float(v) for v in args.values.split(",") if v.strip()]
+    except ValueError:
+        parser.error("--values must be comma-separated numbers")
+    if not values:
+        parser.error("--values must name at least one value")
+    print("ablating %s over %s=%s (scale %d)..."
+          % (args.app, args.vary, args.values, args.scale), file=sys.stderr)
+    report = ablate_workload(
+        workload, args.vary, values, scale=args.scale,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    print(render_ablation_report(report))
     return 0
 
 

@@ -18,6 +18,13 @@ them on *every* generated program:
     phase before the execute phase leaves the final memory image
     bit-identical to running execute alone, and the access phase issues
     *no stores* (it is a pure prefetch slice).
+``trace-invariance``
+    the record/replay engine's load-bearing assumption — the execute
+    phase emits the identical memory-event stream whether or not the
+    access phase ran first — and its end-to-end consequence: profiling
+    with ``interp="replay"`` (execute phases replayed from the donor
+    scheme's recorded trace) serializes byte-identical to direct
+    interpretation.
 ``schedule-invariants``
     profiling + scheduling under CAE and DAE with real frequency
     policies yields a timeline whose segments tile [0, time] exactly
@@ -78,6 +85,7 @@ ORACLE_NAMES = (
     "compile",
     "interp-equivalence",
     "dae-semantics",
+    "trace-invariance",
     "schedule-invariants",
     "profile-determinism",
     "engine-pool",
@@ -286,6 +294,64 @@ def _check_dae_semantics(case: FuzzCase) -> list:
     ]
 
 
+def _check_trace_invariance(case: FuzzCase,
+                            config: MachineConfig) -> list:
+    """The replay engine's invariant, checked both microscopically
+    (execute-phase event streams match with and without a preceding
+    access phase) and end-to-end (``interp="replay"`` payloads are
+    byte-identical to ``interp="fast"``)."""
+    seed = case.program.seed
+    problems = []
+    if case.access is not None:
+        _, cold_events, _ = _fresh_run(
+            case, interp="fast", run_access=False
+        )
+        memory = SimMemory()
+        args = [materialize_param(memory, spec)
+                for spec in case.program.params]
+        FastInterpreter(memory, max_steps=FUZZ_MAX_STEPS).run(
+            case.access, args
+        )
+        warm_events: list = []
+
+        def sink(kind, address, size):
+            warm_events.append((kind, address, size))
+
+        FastInterpreter(memory, max_steps=FUZZ_MAX_STEPS, sink=sink).run(
+            case.execute, args
+        )
+        if cold_events != warm_events:
+            length = min(len(cold_events), len(warm_events))
+            where = next(
+                (i for i in range(length)
+                 if cold_events[i] != warm_events[i]),
+                length,
+            )
+            problems.append(
+                "execute event stream depends on the access phase "
+                "(method %r): diverges at #%d (%d vs %d events): %r vs %r"
+                % (case.method, where,
+                   len(cold_events), len(warm_events),
+                   cold_events[where] if where < len(cold_events) else None,
+                   warm_events[where] if where < len(warm_events) else None)
+            )
+    workload = FuzzWorkload(case.program)
+    fast = json.dumps(run_to_payload(profile_workload(
+        workload, config=config, schemes=ORACLE_SCHEMES, interp="fast",
+    )), sort_keys=True)
+    replayed = json.dumps(run_to_payload(profile_workload(
+        workload, config=config, schemes=ORACLE_SCHEMES, interp="replay",
+    )), sort_keys=True)
+    if fast != replayed:
+        problems.append(
+            "replayed profile payload differs from direct interpretation"
+        )
+    return [
+        OracleViolation("trace-invariance", seed, p, case.program.source)
+        for p in problems
+    ]
+
+
 def _check_schedule_invariants(case: FuzzCase,
                                config: MachineConfig) -> list:
     seed = case.program.seed
@@ -362,6 +428,8 @@ def run_oracles(program: GeneratedProgram,
     checks = (
         ("interp-equivalence", lambda: _check_interp_equivalence(case)),
         ("dae-semantics", lambda: _check_dae_semantics(case)),
+        ("trace-invariance",
+         lambda: _check_trace_invariance(case, config)),
         ("schedule-invariants",
          lambda: _check_schedule_invariants(case, config)),
         ("profile-determinism",

@@ -16,6 +16,12 @@ from .interpreter import (
     MemoryEvent,
 )
 from .memory import Allocation, MemoryError_, SimMemory
+from .trace import (
+    KIND_NAMES,
+    PhaseTrace,
+    TaskTrace,
+    TraceStore,
+)
 
 __all__ = [
     "UNDEF", "ExecutionTrace", "InterpError", "Interpreter", "MemoryEvent",
@@ -23,4 +29,5 @@ __all__ = [
     "DecodedFunction", "decode_function", "decode_stats",
     "invalidate_decode", "reset_decode_stats",
     "Allocation", "MemoryError_", "SimMemory",
+    "KIND_NAMES", "PhaseTrace", "TaskTrace", "TraceStore",
 ]

@@ -40,18 +40,24 @@ from .memory import MemoryError_, SimMemory
 #: Marker distinguishing "returned void" from "returned None".
 _NO_RET = object()
 
-#: Accepted interpreter implementation names.
-INTERP_CHOICES = ("fast", "reference")
+#: Accepted interpreter implementation names.  ``"replay"`` is the
+#: fast interpreter plus cross-scheme trace reuse: when a profiling
+#: matrix spans several schemes, each execute phase is interpreted once
+#: and *replayed* through the cache model for the other schemes (see
+#: :mod:`repro.interp.trace`); outside a multi-scheme matrix it behaves
+#: exactly like ``"fast"``.
+INTERP_CHOICES = ("replay", "fast", "reference")
 
 
 def resolve_interp(choice: Optional[str] = None) -> str:
     """Normalize an interpreter choice.
 
-    ``None`` falls back to ``$REPRO_INTERP``, then to ``"fast"`` (the
-    fast core is bit-identical to the reference, so it is the default
-    everywhere).
+    ``None`` falls back to ``$REPRO_INTERP``, then to ``"replay"``
+    (byte-identical to ``"fast"`` and to the reference — the profiler
+    falls back to full interpretation wherever the replay invariant
+    does not hold — so the fastest mode is the default everywhere).
     """
-    choice = choice or os.environ.get("REPRO_INTERP") or "fast"
+    choice = choice or os.environ.get("REPRO_INTERP") or "replay"
     if choice not in INTERP_CHOICES:
         raise ValueError(
             "unknown interpreter %r; expected one of %s"

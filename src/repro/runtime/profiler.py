@@ -24,11 +24,13 @@ from ..interp.decode import decode_stats
 from ..interp.fast import FastInterpreter, resolve_interp
 from ..interp.interpreter import Interpreter
 from ..interp.memory import SimMemory
+from ..interp.trace import PhaseTrace, TaskTrace, TraceStore, pack_events
 from ..obs.events import get_collector
 from ..sim.cache import AccessCounts, MachineCaches
 from ..sim.config import MachineConfig
-from ..sim.timing import PhaseProfile
-from .task import Scheme, TaskInstance, TaskProfile
+from ..sim.replay import replay_phase
+from ..sim.timing import PhaseProfile, issue_slots
+from .task import Scheme, TaskInstance, TaskProfile, TaskRef
 
 
 class ProfileError(Exception):
@@ -72,15 +74,18 @@ class TaskStreamProfiler:
                  interp: Optional[str] = None):
         self.memory = memory
         self.config = config or MachineConfig()
-        #: Which interpreter runs the phases: ``"fast"`` (pre-decoded,
-        #: streaming events straight into the cache model) or
-        #: ``"reference"`` (the executable specification).  Both produce
-        #: byte-identical profiles; ``None`` defers to ``$REPRO_INTERP``.
+        #: Which interpreter runs the phases: ``"replay"`` (the fast
+        #: core, plus cross-scheme trace reuse when the caller supplies
+        #: a :class:`TraceStore`), ``"fast"`` (pre-decoded, streaming
+        #: events straight into the cache model) or ``"reference"``
+        #: (the executable specification).  All produce byte-identical
+        #: profiles; ``None`` defers to ``$REPRO_INTERP``.
         self.interp = resolve_interp(interp)
 
     def profile(self, tasks: list[TaskInstance],
                 scheme: Union[Scheme, str],
-                strict: bool = False) -> StreamProfile:
+                strict: bool = False,
+                trace_store: Optional[TraceStore] = None) -> StreamProfile:
         """Profile ``tasks`` under ``scheme`` (a :class:`Scheme`; plain
         strings remain accepted as a deprecation shim).
 
@@ -88,6 +93,20 @@ class TaskStreamProfiler:
         silently profiles as coupled (the runtime's fallback) and emits
         an obs warning event; with ``strict=True`` it raises
         :class:`ProfileError` instead, naming the task and scheme.
+
+        ``trace_store`` enables record/replay across a multi-scheme
+        matrix: every interpreted phase is recorded into the store as a
+        packed event trace, and execute phases whose stream is already
+        recorded by an earlier scheme are *replayed* through the cache
+        model instead of re-interpreted.  Replay is guarded by the
+        access-phase-writes-nothing invariant — the first access-phase
+        store (in either the recording or the consuming scheme)
+        disables reuse from that task onward, falling back to full
+        interpretation — and replayed phases apply the recorded memory
+        delta so later interpreted phases see the exact memory an
+        interpreted run would have produced.  The store needs the fast
+        interpreter's streaming sink; it is ignored under
+        ``interp="reference"``.
         """
         try:
             scheme = Scheme.coerce(scheme, context="TaskStreamProfiler.profile")
@@ -98,9 +117,19 @@ class TaskStreamProfiler:
         caches = MachineCaches(self.config)
         result = StreamProfile(scheme=scheme)
         warned: set[str] = set()
+        store = trace_store if self.interp != "reference" else None
+        records: Optional[list[TaskTrace]] = None
+        donor: Optional[list[TaskTrace]] = None
+        #: Cleared on the first access-phase store: from that task on,
+        #: memory evolution may diverge from the scheme-invariant
+        #: baseline, so execute phases interpret instead of replaying.
+        replay_ok = True
+        if store is not None:
+            records, donor = store.begin_scheme(scheme)
         for index, instance in enumerate(tasks):
             core = caches.cores[index % self.config.cores]
             access_profile = None
+            access_trace = None
             if scheme in ("dae", "manual"):
                 access_fn = (
                     instance.kind.access if scheme == "dae"
@@ -122,15 +151,54 @@ class TaskStreamProfiler:
                             "profiler.missing_access", cat="warning.profiler",
                             args={"task": instance.name, "scheme": scheme},
                         )
+                elif store is not None:
+                    access_profile, access_trace = self._record_phase(
+                        access_fn, instance.args, core,
+                        phase="access", task=instance.name,
+                        shareable=replay_ok,
+                    )
+                    store.note_recorded(access_trace)
+                    if access_trace.stores:
+                        replay_ok = False
                 else:
                     access_profile = self._run_phase(
                         access_fn, instance.args, core,
                         phase="access", task=instance.name,
                     )
-            execute_profile = self._run_phase(
-                instance.kind.execute, instance.args, core,
-                phase="execute", task=instance.name,
-            )
+            if store is not None:
+                # Cross-scheme reuse only under interp="replay"; a
+                # store supplied under "fast" is record-only (every
+                # phase still interprets).
+                donor_trace = (
+                    donor[index].execute
+                    if (self.interp == "replay" and replay_ok
+                        and donor is not None and index < len(donor))
+                    else None
+                )
+                if (donor_trace is not None and donor_trace.valid
+                        and donor_trace.shareable):
+                    execute_profile = self._replay_phase(
+                        donor_trace, core,
+                        phase="execute", task=instance.name,
+                    )
+                    store.note_replayed(donor_trace)
+                    execute_trace = donor_trace
+                else:
+                    execute_profile, execute_trace = self._record_phase(
+                        instance.kind.execute, instance.args, core,
+                        phase="execute", task=instance.name,
+                        shareable=replay_ok,
+                    )
+                    store.note_recorded(execute_trace)
+                records.append(TaskTrace(
+                    name=instance.name,
+                    access=access_trace, execute=execute_trace,
+                ))
+            else:
+                execute_profile = self._run_phase(
+                    instance.kind.execute, instance.args, core,
+                    phase="execute", task=instance.name,
+                )
             result.tasks.append(
                 TaskProfile(
                     instance=instance,
@@ -152,7 +220,7 @@ class TaskStreamProfiler:
                    task: str = "") -> PhaseProfile:
         counts = AccessCounts()
         collector = get_collector()
-        if self.interp == "fast":
+        if self.interp != "reference":
             # Streaming pipeline: each memory operation flows as three
             # scalars straight into the cache hierarchy — no MemoryEvent
             # object, no event list.
@@ -202,3 +270,172 @@ class TaskStreamProfiler:
                 },
             )
         return PhaseProfile.from_run(trace, counts)
+
+    def _record_phase(self, func, args, core, phase: str = "",
+                      task: str = "", shareable: bool = True):
+        """Interpret one phase (fast core), recording its event stream.
+
+        Returns ``(PhaseProfile, PhaseTrace)``.  The recording sink is
+        the streaming cache sink plus three list appends per event; the
+        flat list packs into one ``array('q')`` after the run.  The
+        store-address list doubles as the purity guard (``stores``) and
+        the source of the post-phase memory ``delta``.
+        """
+        counts = AccessCounts()
+        collector = get_collector()
+        core_access = core.access
+        flat: list = []
+        flat_append = flat.append
+        store_addrs: list = []
+        store_append = store_addrs.append
+
+        def sink(kind, address, size):
+            core_access(address, kind, counts)
+            if kind == "load":
+                flat_append(0)
+            elif kind == "store":
+                flat_append(1)
+                store_append(address)
+            else:
+                flat_append(2)
+            flat_append(address)
+            flat_append(size)
+
+        decode_before = decode_stats() if collector.enabled else None
+        mru_before = core.mru_hits
+        interp = FastInterpreter(self.memory, sink=sink)
+        trace = interp.run(func, args)
+        if collector.enabled:
+            decode_after = decode_stats()
+            collector.counter(
+                "interp.decode.cache_hit",
+                decode_after["hits"] - decode_before["hits"],
+                cat="runtime.interp",
+                args={
+                    "task": task, "phase": phase,
+                    "misses": decode_after["misses"] - decode_before["misses"],
+                },
+            )
+            collector.counter(
+                "sim.l1.mru_shortcircuit",
+                core.mru_hits - mru_before,
+                cat="runtime.interp",
+                args={"task": task, "phase": phase},
+            )
+            collector.counter(
+                "phase.instructions", trace.instructions,
+                cat="runtime.phase",
+                args={
+                    "task": task, "phase": phase,
+                    "trace": trace.snapshot(),
+                    "cache": counts.snapshot(),
+                },
+            )
+        cells = self.memory._cells
+        # Final value of every stored cell; the ``in cells`` filter
+        # skips stores of undef, which emit an event but never write.
+        delta = {a: cells[a] for a in store_addrs if a in cells}
+        # An alloca bumps the memory allocator — replay would skip that
+        # and desynchronize every later address, so the phase records
+        # as non-replayable (it still interprets correctly everywhere).
+        data = None if trace.by_opcode.get("alloca") else pack_events(flat)
+        phase_trace = PhaseTrace(
+            data=data,
+            instructions=trace.instructions,
+            slots=issue_slots(trace),
+            by_opcode=dict(trace.by_opcode),
+            mem_events=trace.mem_events,
+            dropped_prefetches=trace.dropped_prefetches,
+            stores=len(store_addrs),
+            delta=delta,
+            shareable=shareable,
+        )
+        return PhaseProfile.from_run(trace, counts), phase_trace
+
+    def _replay_phase(self, phase_trace: PhaseTrace, core,
+                      phase: str = "", task: str = "") -> PhaseProfile:
+        """Replay a recorded phase through ``core`` — no interpretation.
+
+        Applies the trace's memory delta afterwards, so a later
+        *interpreted* phase (an access phase reading index arrays this
+        phase wrote) sees exactly the memory a full interpretation
+        would have left.
+        """
+        counts = AccessCounts()
+        collector = get_collector()
+        mru_before = core.mru_hits
+        events = replay_phase(core, phase_trace.data, counts)
+        if phase_trace.delta:
+            self.memory._cells.update(phase_trace.delta)
+        if collector.enabled:
+            collector.counter(
+                "profiler.replayed_events", events,
+                cat="runtime.profiler",
+                args={
+                    "task": task, "phase": phase,
+                    "mru_shortcircuits": core.mru_hits - mru_before,
+                },
+            )
+            collector.counter(
+                "phase.instructions", phase_trace.instructions,
+                cat="runtime.phase",
+                args={
+                    "task": task, "phase": phase,
+                    "trace": phase_trace.snapshot(),
+                    "cache": counts.snapshot(),
+                },
+            )
+        return PhaseProfile(
+            instructions=phase_trace.instructions,
+            slots=phase_trace.slots,
+            counts=counts,
+        )
+
+
+def replay_stream(records: list[TaskTrace], scheme: str,
+                  config: Optional[MachineConfig] = None) -> StreamProfile:
+    """Re-simulate one recorded scheme under ``config`` — replay only.
+
+    The trace-backed ablation path: every phase of every task is pushed
+    through a *fresh* :class:`MachineCaches` built from ``config``, with
+    zero interpretation.  The event streams are machine-config-invariant
+    (the interpreter never sees the cache model), so this yields exactly
+    the :class:`StreamProfile` a full profiling run under ``config``
+    would — the differential ablation test pins that — in a fraction of
+    the time.
+
+    Raises :class:`ProfileError` if any recorded phase is non-replayable
+    (``PhaseTrace.data is None``); callers should fall back to full
+    re-interpretation (``TraceStore.fully_replayable`` pre-checks this).
+    """
+    config = config or MachineConfig()
+    caches = MachineCaches(config)
+    result = StreamProfile(scheme=scheme)
+    for index, task_trace in enumerate(records):
+        core = caches.cores[index % config.cores]
+        profiles = []
+        for phase_trace in (task_trace.access, task_trace.execute):
+            if phase_trace is None:
+                profiles.append(None)
+                continue
+            if phase_trace.data is None:
+                raise ProfileError(
+                    "task %r under scheme %r recorded a non-replayable "
+                    "phase; re-profile this configuration instead"
+                    % (task_trace.name, scheme)
+                )
+            counts = AccessCounts()
+            replay_phase(core, phase_trace.data, counts)
+            profiles.append(PhaseProfile(
+                instructions=phase_trace.instructions,
+                slots=phase_trace.slots,
+                counts=counts,
+            ))
+        access_profile, execute_profile = profiles
+        result.tasks.append(TaskProfile(
+            instance=TaskRef(name=task_trace.name),
+            execute=execute_profile,
+            access=access_profile,
+        ))
+    result.mru_shortcircuits = sum(core.mru_hits for core in caches.cores)
+    return result

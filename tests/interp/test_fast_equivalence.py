@@ -368,7 +368,8 @@ class TestDecodeCache:
 
     def test_resolve_interp(self, monkeypatch):
         monkeypatch.delenv("REPRO_INTERP", raising=False)
-        assert resolve_interp(None) == "fast"
+        assert resolve_interp(None) == "replay"
+        assert resolve_interp("fast") == "fast"
         assert resolve_interp("reference") == "reference"
         monkeypatch.setenv("REPRO_INTERP", "reference")
         assert resolve_interp(None) == "reference"

@@ -1,0 +1,391 @@
+"""Differential suite: record/replay profiling is byte-identical to
+direct interpretation.
+
+The record/replay engine (``interp="replay"``) interprets each execute
+phase once — in the first scheme of the matrix — and replays the
+recorded event trace through the cache model for every other scheme.
+These tests pin the promise that this is *unobservable* in the results:
+the serialized profile payload (the exact dict the engine cache stores
+and every figure reads) is equal to a full per-scheme interpretation on
+every bundled workload, and every guard that protects the invariant
+(access-phase stores, donor poisoning, memory deltas, alloca,
+out-of-range addresses) falls back to interpretation rather than
+producing subtly wrong numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.pool import run_experiment
+from repro.engine.products import (
+    ALL_SCHEMES,
+    phase_to_dict,
+    profile_workload,
+    run_to_payload,
+)
+from repro.engine.spec import ExperimentSpec
+from repro.interp import PhaseTrace, SimMemory, TraceStore
+from repro.ir import F64, I64, VOID, Constant, Function, IRBuilder, pointer_to
+from repro.runtime.profiler import TaskStreamProfiler, replay_stream
+from repro.runtime.task import Scheme, TaskInstance, TaskKind
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.base import PaperRow, Workload, fill_floats
+
+
+def _payload_text(run) -> str:
+    return json.dumps(run_to_payload(run), sort_keys=True)
+
+
+# -- custom workloads (module level: the Workload protocol) --------------------
+
+
+class ManualStoreWorkload(Workload):
+    """A manual access version that *stores* (violating the pure-
+    prefetch invariant) — the profiler must fall back to interpreting
+    every execute phase of (and after) the offending scheme."""
+
+    name = "manual-store"
+    paper = PaperRow(1, 1, 1, 0.0, 0.0)
+    elems = 24
+    chunks = 3
+
+    def source(self) -> str:
+        return """
+task mstore(A: f64*, n: i64) {
+  var i: i64;
+  var s: f64;
+  s = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + A[i];
+  }
+  A[0] = s;
+}
+
+task mstore_manual_access(A: f64*, n: i64) {
+  var i: i64;
+  for (i = 0; i < n; i = i + 1) {
+    A[i] = A[i];
+    prefetch(A[i]);
+  }
+}
+"""
+
+    def build(self, memory, scale, kinds):
+        n = self.elems * scale
+        a = memory.alloc_array(8, n, "A", init=fill_floats(n))
+        return [
+            TaskInstance(kinds["mstore"], [a, n])
+            for _ in range(self.chunks)
+        ]
+
+
+class DeltaDependencyWorkload(Workload):
+    """Task 2's access phase chases an index array task 1's execute
+    phase *wrote* — correct only if replayed phases reproduce their
+    memory writes (the trace's ``delta``)."""
+
+    name = "delta-dep"
+    paper = PaperRow(2, 2, 2, 0.0, 0.0)
+    elems = 32
+
+    def source(self) -> str:
+        return """
+task build_index(B: i64*, n: i64) {
+  var i: i64;
+  for (i = 0; i < n; i = i + 1) {
+    B[i] = n - 1 - i;
+  }
+}
+
+task gather(A: f64*, B: i64*, n: i64) {
+  var i: i64;
+  var s: f64;
+  s = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + A[B[i]];
+  }
+  A[0] = s;
+}
+"""
+
+    def build(self, memory, scale, kinds):
+        n = self.elems * scale
+        a = memory.alloc_array(8, n, "A", init=fill_floats(n))
+        b = memory.alloc_array(8, n, "B")
+        return [
+            TaskInstance(kinds["build_index"], [b, n]),
+            TaskInstance(kinds["gather"], [a, b, n]),
+        ]
+
+
+# -- the tentpole guarantee: whole-matrix payload identity ---------------------
+
+
+@pytest.mark.parametrize(
+    "workload_cls", ALL_WORKLOADS, ids=lambda cls: cls().name,
+)
+def test_replayed_profiles_byte_identical(workload_cls):
+    """Every bundled workload, full three-scheme matrix: replay and
+    direct interpretation serialize to the same bytes, and replay
+    actually replayed (it is not silently interpreting everything)."""
+    config = MachineConfig()
+    fast = profile_workload(workload_cls(), 1, config, interp="fast")
+    store = TraceStore()
+    replayed = profile_workload(
+        workload_cls(), 1, config, interp="replay", trace_store=store,
+    )
+    assert _payload_text(fast) == _payload_text(replayed)
+    # Two non-donor schemes, every execute phase shareable.
+    assert store.replayed_phases > 0
+    assert store.replayed_events > 0
+
+
+def test_replay_is_the_default_and_autocreates_a_store():
+    """``interp=None`` resolves to replay and profiles multi-scheme
+    matrices via an internal TraceStore — byte-identical to fast."""
+    workload_cls = ALL_WORKLOADS[0]
+    fast = profile_workload(workload_cls(), interp="fast")
+    default = profile_workload(workload_cls())
+    assert _payload_text(fast) == _payload_text(default)
+
+
+def test_single_scheme_matrix_matches_fast():
+    """With one scheme there is nothing to reuse; replay degrades to
+    plain fast interpretation."""
+    workload_cls = ALL_WORKLOADS[0]
+    fast = profile_workload(
+        workload_cls(), interp="fast", schemes=(Scheme.DAE,),
+    )
+    replayed = profile_workload(
+        workload_cls(), interp="replay", schemes=(Scheme.DAE,),
+    )
+    assert _payload_text(fast) == _payload_text(replayed)
+
+
+def test_fast_with_explicit_store_is_record_only():
+    """``interp="fast"`` + a TraceStore records traces but never
+    replays — the benchmark's interpreted leg stays pure."""
+    store = TraceStore()
+    workload_cls = ALL_WORKLOADS[0]
+    fast = profile_workload(
+        workload_cls(), interp="fast", trace_store=store,
+    )
+    reference = profile_workload(workload_cls(), interp="fast")
+    assert _payload_text(fast) == _payload_text(reference)
+    assert store.recorded_phases > 0
+    assert store.replayed_phases == 0
+
+
+# -- invariant guards ----------------------------------------------------------
+
+
+def test_manual_access_store_disables_reuse_consumer_side():
+    """Donor (CAE) is clean, but MANUAL's own access phases store:
+    every MANUAL execute must re-interpret — and the numbers still
+    match direct interpretation exactly."""
+    schemes = (Scheme.CAE, Scheme.MANUAL)
+    fast = profile_workload(
+        ManualStoreWorkload(), interp="fast", schemes=schemes,
+    )
+    store = TraceStore()
+    replayed = profile_workload(
+        ManualStoreWorkload(), interp="replay", schemes=schemes,
+        trace_store=store,
+    )
+    assert _payload_text(fast) == _payload_text(replayed)
+    assert store.replayed_phases == 0
+    assert all(
+        task.access.stores > 0 for task in store.schemes["manual"]
+    )
+
+
+def test_manual_access_store_poisons_donor_side():
+    """MANUAL records first (its access stores), so its execute traces
+    are unshareable; CAE must interpret rather than replay them."""
+    schemes = (Scheme.MANUAL, Scheme.CAE)
+    fast = profile_workload(
+        ManualStoreWorkload(), interp="fast", schemes=schemes,
+    )
+    store = TraceStore()
+    replayed = profile_workload(
+        ManualStoreWorkload(), interp="replay", schemes=schemes,
+        trace_store=store,
+    )
+    assert _payload_text(fast) == _payload_text(replayed)
+    assert store.replayed_phases == 0
+    assert not any(
+        task.execute.shareable for task in store.schemes["manual"]
+    )
+
+
+def test_memory_delta_feeds_later_interpreted_phases():
+    """DAE replays task 1's execute from the CAE recording; task 2's
+    *interpreted* access phase then reads the index array task 1 wrote.
+    Identical payloads prove the replay applied the memory delta."""
+    workload = DeltaDependencyWorkload()
+    fast = profile_workload(workload, interp="fast")
+    store = TraceStore()
+    replayed = profile_workload(
+        workload, interp="replay", trace_store=store,
+    )
+    assert _payload_text(fast) == _payload_text(replayed)
+    assert store.replayed_phases > 0
+    build = store.schemes["cae"][0]
+    assert build.name == "build_index"
+    assert build.execute.stores == DeltaDependencyWorkload.elems
+    assert len(build.execute.delta) == DeltaDependencyWorkload.elems
+
+
+# -- profiler-level fallbacks (direct IR) --------------------------------------
+
+
+def _alloca_kind() -> TaskKind:
+    func = Function("alloc_task", [pointer_to(F64), I64], ["A", "n"], VOID)
+    b = IRBuilder(func.add_block("entry"))
+    slot = b.alloca(F64, "tmp")
+    b.store(Constant(F64, 1.5), slot)
+    b.store(b.load(slot, "v"), func.args[0])
+    b.ret()
+    return TaskKind("alloc_task", execute=func)
+
+
+def _overflow_kind() -> TaskKind:
+    # A prefetch of A + 2**61 * 8 — beyond the signed 64-bit range the
+    # packed array accepts, though the cache model simulates it fine.
+    func = Function("huge_prefetch", [pointer_to(F64)], ["A"], VOID)
+    b = IRBuilder(func.add_block("entry"))
+    b.prefetch(b.gep(func.args[0], Constant(I64, 2 ** 61), "p"))
+    b.store(Constant(F64, 2.0), func.args[0])
+    b.ret()
+    return TaskKind("huge_prefetch", execute=func)
+
+
+def _profile_matrix(make_kind, interp, store=None):
+    """Profile two instances of ``make_kind()`` under CAE then DAE on
+    fresh memory per scheme (mirroring profile_workload)."""
+    config = MachineConfig()
+    result = {}
+    for scheme in (Scheme.CAE, Scheme.DAE):
+        memory = SimMemory()
+        kind = make_kind()
+        a = memory.alloc_array(8, 4, "A", init=fill_floats(4))
+        tasks = [TaskInstance(kind, [a, 4]) if len(kind.execute.args) == 2
+                 else TaskInstance(kind, [a]) for _ in range(2)]
+        profiler = TaskStreamProfiler(memory, config, interp=interp)
+        stream = profiler.profile(tasks, scheme, trace_store=store)
+        result[scheme.value] = [
+            phase_to_dict(task.execute) for task in stream.tasks
+        ]
+    return result
+
+
+def test_alloca_phase_records_as_non_replayable():
+    store = TraceStore()
+    replayed = _profile_matrix(_alloca_kind, "replay", store)
+    fast = _profile_matrix(_alloca_kind, "fast")
+    assert replayed == fast
+    assert store.replayed_phases == 0
+    trace = store.schemes["cae"][0].execute
+    assert not trace.valid
+    assert trace.by_opcode.get("alloca", 0) > 0
+    # The rest of the record stays meaningful for the fallback path.
+    assert trace.instructions > 0
+
+
+def test_out_of_range_address_records_as_non_replayable():
+    store = TraceStore()
+    replayed = _profile_matrix(_overflow_kind, "replay", store)
+    fast = _profile_matrix(_overflow_kind, "fast")
+    assert replayed == fast
+    assert store.replayed_phases == 0
+    assert not store.schemes["cae"][0].execute.valid
+    assert not store.fully_replayable()
+
+
+# -- replay_stream (the ablation path) -----------------------------------------
+
+
+def test_replay_stream_reproduces_the_recorded_profiles():
+    """Replaying a recorded scheme under the *same* config rebuilds the
+    identical profile stream, task names included."""
+    config = MachineConfig()
+    store = TraceStore()
+    run = profile_workload(
+        ALL_WORKLOADS[0](), 1, config, interp="replay", trace_store=store,
+    )
+    assert store.fully_replayable()
+    for scheme, stream in run.profiles.items():
+        rebuilt = replay_stream(store.schemes[scheme], scheme, config)
+        assert len(rebuilt.tasks) == len(stream.tasks)
+        for original, copy in zip(stream.tasks, rebuilt.tasks):
+            assert original.instance.name == copy.instance.name
+            assert phase_to_dict(original.execute) == phase_to_dict(
+                copy.execute
+            )
+            if original.access is None:
+                assert copy.access is None
+            else:
+                assert phase_to_dict(original.access) == phase_to_dict(
+                    copy.access
+                )
+
+
+def test_replay_stream_matches_full_reprofile_under_variant_config():
+    """The ablation guarantee: replaying recorded traces through a
+    *different* cache geometry equals re-profiling from scratch under
+    that geometry."""
+    base = MachineConfig()
+    variant = MachineConfig(llc=CacheConfig(8 * 1024, 16, latency_cycles=30))
+    workload_cls = ALL_WORKLOADS[0]
+    store = TraceStore()
+    profile_workload(
+        workload_cls(), 1, base, interp="replay", trace_store=store,
+    )
+    fresh = profile_workload(workload_cls(), 1, variant, interp="fast")
+    for scheme, stream in fresh.profiles.items():
+        rebuilt = replay_stream(store.schemes[scheme], scheme, variant)
+        assert [phase_to_dict(t.execute) for t in rebuilt.tasks] == [
+            phase_to_dict(t.execute) for t in stream.tasks
+        ], scheme
+
+
+def test_replay_stream_refuses_non_replayable_traces():
+    from repro.runtime.profiler import ProfileError
+
+    store = TraceStore()
+    _profile_matrix(_alloca_kind, "replay", store)
+    with pytest.raises(ProfileError):
+        replay_stream(store.schemes["cae"], "cae", MachineConfig())
+
+
+# -- engine integration --------------------------------------------------------
+
+
+def test_pooled_engine_unchanged_by_replay():
+    """``jobs=2`` through the process pool with the replay default
+    returns the same payloads as a serial fast-interpreter run."""
+    workloads = (ALL_WORKLOADS[0](),)
+    serial = run_experiment(ExperimentSpec(
+        workloads=workloads, jobs=1, cache=False, interp="fast",
+    ))
+    pooled = run_experiment(ExperimentSpec(
+        workloads=workloads, jobs=2, cache=False, interp="replay",
+    ))
+    for name, run in serial.items():
+        assert _payload_text(run) == _payload_text(pooled[name])
+
+
+def test_phase_trace_snapshot_matches_execution_trace_shape():
+    trace = PhaseTrace(
+        data=None, instructions=10, slots=12,
+        by_opcode={"fadd": 3, "load": 4}, mem_events=4,
+        dropped_prefetches=1, stores=0, delta={},
+    )
+    snap = trace.snapshot()
+    assert snap["instructions"] == 10
+    assert snap["flops"] == 3
+    assert snap["mem_events"] == 4
+    assert snap["dropped_prefetches"] == 1
+    assert trace.events == 0 and not trace.valid

@@ -1,0 +1,198 @@
+"""Pins for the hoisted cache geometry and the inlined access fast path.
+
+``CacheConfig`` precomputes ``sets``/``line_shift``/``set_mask`` once;
+``CoreCaches.access`` inlines the per-level lookup/fill pair; and
+``replay_phase`` transcribes that inlined body over a packed trace.
+None of that may change a single count or eviction — these tests feed
+identical randomized streams through the fast paths and through a
+straightforward composed reference and require bit-identical tallies
+*and* bit-identical final cache state (every line of every set, in
+recency order).
+"""
+
+import random
+
+from repro.sim.cache import AccessCounts, CoreCaches, MachineCaches
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.replay import replay_phase
+
+KIND_NAMES = ("load", "store", "prefetch")
+
+
+# -- derived geometry ----------------------------------------------------------
+
+
+class TestDerivedGeometry:
+    def test_default_levels(self):
+        config = MachineConfig()
+        assert config.l1.sets == 8          # 2K / (4 * 64)
+        assert config.l2.sets == 32         # 16K / (8 * 64)
+        assert config.llc.sets == 24        # 24K / (16 * 64) — NOT 2^k
+        assert config.l1.line_shift == 6
+        assert config.l1.set_mask == 7
+        assert config.l2.set_mask == 31
+        assert config.llc.set_mask == -1    # 24 sets: modulo, not mask
+
+    def test_non_power_of_two_line(self):
+        cache = CacheConfig(1536, 4, line_bytes=48)
+        assert cache.line_shift == -1
+        assert cache.sets == 8
+
+    def test_derived_fields_excluded_from_identity(self):
+        a = CacheConfig(2048, 4)
+        b = CacheConfig(2048, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert "line_shift" not in repr(a)
+
+    def test_shift_equals_division_for_negative_addresses(self):
+        # Replay and access both use ``address >> shift`` on the fast
+        # path; Python's arithmetic shift floors exactly like ``//``.
+        for address in (-1, -63, -64, -65, -4096, 0, 1, 63, 64, 12345):
+            assert address >> 6 == address // 64
+
+
+# -- the composed reference model ----------------------------------------------
+
+
+def _reference_access(core: CoreCaches, address: int, kind: str,
+                      counts: AccessCounts) -> str:
+    """The pre-inline composed form: Cache.lookup / Cache.fill method
+    calls, in the exact order the inlined body performs them."""
+    line = address // core.line_bytes
+    if line == core._mru_line:
+        core.mru_hits += 1
+        counts.record(kind, "l1")
+        return "l1"
+    core._mru_line = line
+    if core.l1.lookup(line):
+        level = "l1"
+    elif core.l2.lookup(line):
+        level = "l2"
+        core.l1.fill(line)
+    elif core.llc.lookup(line):
+        level = "llc"
+        core.l2.fill(line)
+        core.l1.fill(line)
+    else:
+        level = "mem_stream" if core._is_stream(line) else "mem"
+        core._note_miss(line)
+        core.llc.fill(line)
+        core.l2.fill(line)
+        core.l1.fill(line)
+    counts.record(kind, level)
+    return level
+
+
+def _machine_state(machine: MachineCaches) -> list:
+    """Every line of every set of every cache, in recency order."""
+    core = machine.cores[0]
+    return [
+        [list(s) for s in cache.sets]
+        for cache in (core.l1, core.l2, machine.llc)
+    ]
+
+
+def _random_events(seed: int, count: int) -> list:
+    """(kind_code, address, size) triples with sequential runs, reuse,
+    negatives and far-flung strides — everything the classifier and the
+    eviction paths can see."""
+    rng = random.Random(seed)
+    events = []
+    address = 0
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.35:
+            address += 8                      # same/adjacent line runs
+        elif roll < 0.55:
+            address += 64                     # next line (stream hits)
+        elif roll < 0.75:
+            address = rng.randrange(0, 1 << 16)
+        elif roll < 0.9:
+            address = rng.randrange(-(1 << 12), 0)
+        else:
+            address = rng.randrange(0, 1 << 40)
+        events.append((rng.randrange(3), address, 8))
+    return events
+
+
+class TestInlinedAccess:
+    def test_matches_composed_reference(self):
+        for seed in (1, 7, 42):
+            events = _random_events(seed, 4000)
+            fast_machine = MachineCaches(MachineConfig())
+            ref_machine = MachineCaches(MachineConfig())
+            fast_counts, ref_counts = AccessCounts(), AccessCounts()
+            fast_core = fast_machine.cores[0]
+            ref_core = ref_machine.cores[0]
+            for kind_code, address, _size in events:
+                kind = KIND_NAMES[kind_code]
+                got = fast_core.access(address, kind, fast_counts)
+                expect = _reference_access(ref_core, address, kind,
+                                           ref_counts)
+                assert got == expect
+            assert fast_counts.snapshot() == ref_counts.snapshot()
+            assert fast_core.mru_hits == ref_core.mru_hits
+            assert _machine_state(fast_machine) == _machine_state(ref_machine)
+
+    def test_flush_keeps_bound_set_lists_fresh(self):
+        machine = MachineCaches(MachineConfig())
+        core = machine.cores[0]
+        counts = AccessCounts()
+        for address in range(0, 8192, 64):
+            core.access(address, "load", counts)
+        machine.flush()
+        assert core.l1.resident_lines() == 0
+        assert machine.llc.resident_lines() == 0
+        # The bound lists alias the cleared sets; a fresh access lands
+        # in the same dicts the Cache objects report on.
+        assert core.access(128, "load", counts) in ("mem", "mem_stream")
+        assert core.l1.resident_lines() == 1
+
+
+class TestReplayPhase:
+    def test_matches_per_event_access(self):
+        from array import array
+
+        for seed in (3, 9, 2026):
+            events = _random_events(seed, 4000)
+            direct_machine = MachineCaches(MachineConfig())
+            replay_machine = MachineCaches(MachineConfig())
+            direct_counts, replay_counts = AccessCounts(), AccessCounts()
+            direct_core = direct_machine.cores[0]
+            for kind_code, address, _size in events:
+                direct_core.access(address, KIND_NAMES[kind_code],
+                                   direct_counts)
+            flat = [value for event in events for value in event]
+            replayed = replay_phase(
+                replay_machine.cores[0], array("q", flat), replay_counts,
+            )
+            assert replayed == len(events)
+            assert replay_counts.snapshot() == direct_counts.snapshot()
+            assert (replay_machine.cores[0].mru_hits
+                    == direct_core.mru_hits)
+            assert (replay_machine.cores[0]._mru_line
+                    == direct_core._mru_line)
+            assert (replay_machine.cores[0]._recent_misses
+                    == direct_core._recent_misses)
+            assert _machine_state(replay_machine) == _machine_state(
+                direct_machine
+            )
+
+    def test_shared_llc_state_carries_across_phases(self):
+        """Two replays on the same machine see each other's LLC fills,
+        exactly like two interpreted phases would."""
+        from array import array
+
+        events = _random_events(11, 1500)
+        flat = array("q", [v for e in events for v in e])
+        direct = MachineCaches(MachineConfig())
+        replayed = MachineCaches(MachineConfig())
+        for _ in range(2):
+            counts_a, counts_b = AccessCounts(), AccessCounts()
+            for kind_code, address, _size in events:
+                direct.cores[0].access(address, KIND_NAMES[kind_code],
+                                       counts_a)
+            replay_phase(replayed.cores[0], flat, counts_b)
+            assert counts_a.snapshot() == counts_b.snapshot()
+        assert _machine_state(direct) == _machine_state(replayed)
