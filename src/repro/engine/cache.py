@@ -79,18 +79,49 @@ def _options_material(options: Optional[AccessPhaseOptions]) -> Optional[dict]:
     }
 
 
+def machine_material(machine) -> dict:
+    """A :class:`~repro.machines.model.MachineModel` as plain data.
+
+    Content-addresses the full *description* — per-type configs,
+    counts, transition and placement — not just the registered name,
+    so re-registering a name with different silicon can never serve a
+    stale product.
+    """
+    return {
+        "name": machine.name,
+        "transition": {
+            "kind": machine.transition.kind,
+            "latency_ns": machine.transition.latency_ns,
+            "flush": machine.transition.flush,
+        },
+        "access_type": machine.access_type,
+        "execute_type": machine.execute_type,
+        "core_types": [
+            {
+                "name": core_type.name,
+                "count": core_type.count,
+                "config": _config_material(core_type.config),
+            }
+            for core_type in machine.core_types
+        ],
+    }
+
+
 def key_material(workload: Workload, scale: int, config: MachineConfig,
                  options: Optional[AccessPhaseOptions],
-                 schemes: Sequence[Union[Scheme, str]]) -> Optional[dict]:
+                 schemes: Sequence[Union[Scheme, str]],
+                 machine=None) -> Optional[dict]:
     """Everything the cached product is a function of, as plain data.
 
     Returns ``None`` when the job is not cacheable (options carry
-    callables whose behaviour cannot be hashed).
+    callables whose behaviour cannot be hashed).  ``machine`` enters
+    the material only when set, so machine-less keys (and every cache
+    entry written before machines existed) are untouched.
     """
     options_doc = _options_material(options)
     if options_doc is None:
         return None
-    return {
+    material = {
         "format": PAYLOAD_FORMAT,
         "version": _package_version(),
         "workload": workload.name,
@@ -101,6 +132,9 @@ def key_material(workload: Workload, scale: int, config: MachineConfig,
         "config": _config_material(config),
         "options": options_doc,
     }
+    if machine is not None:
+        material["machine"] = machine_material(machine)
+    return material
 
 
 def cache_key(material: dict) -> str:

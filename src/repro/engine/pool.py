@@ -113,11 +113,16 @@ class EnginePool:
 
 def _pool_worker(payload: tuple) -> dict:
     """Top-level (picklable) worker: profile one workload, return the
-    slim JSON-able product."""
-    workload, scale, config, options, scheme_values, interp = payload
+    slim JSON-able product.  The machine travels as its registered
+    name (specs only admit registered names) and is re-resolved here."""
+    workload, scale, config, options, scheme_values, interp, machine = payload
+    model = None
+    if machine is not None:
+        from ..machines import MachineModel
+        model = MachineModel.from_name(machine)
     run = profile_workload(
         workload, scale, config, options=options, schemes=scheme_values,
-        interp=interp,
+        interp=interp, machine=model,
     )
     return run_to_payload(run)
 
@@ -146,6 +151,7 @@ class _Job:
         return (
             self.workload, spec.scale, spec.config, spec.options,
             tuple(s.value for s in spec.schemes), spec.interp,
+            spec.machine,
         )
 
 
@@ -179,7 +185,7 @@ def run_experiment(spec: ExperimentSpec, *,
             if cache is not None:
                 job.material = key_material(
                     workload, spec.scale, spec.config, spec.options,
-                    spec.schemes,
+                    spec.schemes, machine=spec.resolve_machine(),
                 )
                 if job.material is not None:
                     job.key = cache_key(job.material)
@@ -261,6 +267,7 @@ def _run_serial_job(job: _Job, spec: ExperimentSpec) -> None:
     job.run = profile_workload(
         job.workload, spec.scale, spec.config,
         options=spec.options, schemes=spec.schemes, interp=spec.interp,
+        machine=spec.resolve_machine(),
     )
 
 

@@ -98,6 +98,7 @@ def profile_workload(workload: Workload, scale: int = 1,
                      schemes: Sequence[Union[Scheme, str]] = ALL_SCHEMES,
                      interp: Optional[str] = None,
                      trace_store: Optional[TraceStore] = None,
+                     machine=None,
                      ) -> WorkloadRun:
     """Compile ``workload`` once and profile it under every scheme.
 
@@ -120,10 +121,31 @@ def profile_workload(workload: Workload, scale: int = 1,
     ``trace_store`` keeps the recorded traces for the caller (the
     ablation sweeps and the profiling benchmark read them); passing one
     forces recording even for a single-scheme matrix.
+
+    ``machine`` is an optional
+    :class:`~repro.machines.model.MachineModel`.  A homogeneous model
+    simply substitutes its config.  A heterogeneous one forces the
+    record-and-replay path: the matrix is interpreted once (recording
+    every phase), then each scheme is re-simulated through the
+    machine's per-type cache hierarchy
+    (:func:`repro.machines.replay.machine_stream`) so access phases
+    meet the access cluster's caches and execute phases the execute
+    cluster's.  A workload that records a non-replayable phase cannot
+    be profiled on a heterogeneous machine and raises
+    :class:`EngineError`.
     """
     config = config or MachineConfig()
     resolved_interp = resolve_interp(interp)
     store = trace_store
+    machine_store: Optional[TraceStore] = None
+    if machine is not None:
+        if machine.heterogeneous:
+            resolved_interp = "replay"
+            if store is None:
+                store = TraceStore()
+            machine_store = store
+        else:
+            config = machine.config
     if (store is None and resolved_interp == "replay"
             and len(tuple(schemes)) > 1):
         store = TraceStore()
@@ -146,6 +168,20 @@ def profile_workload(workload: Workload, scale: int = 1,
                 "deterministic across schemes"
                 % (workload.name, len(tasks), scheme.value, task_count)
             )
+    if machine_store is not None:
+        if not machine_store.fully_replayable():
+            raise EngineError(
+                "workload %r recorded a non-replayable phase; "
+                "heterogeneous machine %r requires full trace replay"
+                % (workload.name, machine.name)
+            )
+        from ..machines.replay import machine_stream
+        profiles = {
+            scheme: machine_stream(
+                machine_store.schemes[scheme], scheme, machine
+            )
+            for scheme in profiles
+        }
     return WorkloadRun(
         workload=workload, compiled=compiled, profiles=profiles,
         task_count=task_count or 0,

@@ -59,6 +59,13 @@ class ExperimentSpec:
     #: bit-identical, so this knob is *excluded* from the cache key —
     #: cached profiles are valid under either.
     interp: Optional[str] = None
+    #: Registered :class:`~repro.machines.model.MachineModel` name to
+    #: profile on (``None`` = the plain ``config``).  A homogeneous
+    #: machine substitutes its config; a heterogeneous one forces the
+    #: record-and-replay profiling path so each phase meets its core
+    #: type's cache geometry.  Result-determining, so it is part of
+    #: the cache key.
+    machine: Optional[str] = None
 
     def __post_init__(self):
         if self.scale < 1:
@@ -72,6 +79,22 @@ class ExperimentSpec:
         object.__setattr__(self, "schemes", tuple(
             Scheme.coerce(s, context="ExperimentSpec") for s in self.schemes
         ))
+        if self.machine is not None:
+            object.__setattr__(
+                self, "machine", str(self.machine).lower()
+            )
+            try:
+                self.resolve_machine()
+            except KeyError as exc:
+                raise EngineError(str(exc)) from None
+
+    def resolve_machine(self):
+        """The spec's :class:`~repro.machines.model.MachineModel`, or
+        ``None``.  Raises ``KeyError`` for an unregistered name."""
+        if self.machine is None:
+            return None
+        from ..machines import MachineModel  # registers the catalog
+        return MachineModel.from_name(self.machine)
 
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:

@@ -8,6 +8,11 @@ points and write a markdown + JSON tuning report), ``ablate <app>
 --vary PARAM --values LIST`` (machine-config sweep: record the scheme
 matrix once, re-simulate every variant by replaying the recorded
 traces through a fresh cache hierarchy — no re-interpretation),
+``machines <app...> --machines a,b,c`` (cross-machine comparison:
+record each workload once, replay it under every registered
+machine model — homogeneous or big.LITTLE — and tabulate
+time/energy/EDP per scheme × machine; ``--manifest-out`` writes one
+machine's column as a run-ledger manifest for ``runs compare``),
 ``cache {stats,clear}`` (inspect / empty the persistent profile cache),
 ``fuzz {run,replay,reduce}`` (differential fuzzing: generate seeded
 random programs through every oracle, replay the checked-in regression
@@ -151,6 +156,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PREFIX", default=None,
         help="artifact path prefix (default: the app name)",
     )
+    tune.add_argument(
+        "--machine", metavar="NAME", default=None,
+        help="tune on a registered machine model; a heterogeneous one "
+             "(e.g. biglittle) searches placements × per-type points",
+    )
     ablate = sub.add_parser(
         "ablate", parents=[common],
         help="machine-config sweep re-simulated from recorded traces",
@@ -171,6 +181,33 @@ def _build_parser() -> argparse.ArgumentParser:
     ablate.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the report as JSON to PATH",
+    )
+    machines = sub.add_parser(
+        "machines", parents=[common],
+        help="compare machine models from one recorded trace per workload",
+    )
+    machines.add_argument(
+        "apps", nargs="*", metavar="APP",
+        help="workload names (default: all seven)",
+    )
+    machines.add_argument(
+        "--machines", metavar="LIST", default=None, dest="machine_list",
+        help="comma-separated machine names (default: every registered "
+             "machine)",
+    )
+    machines.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the full report as JSON to PATH",
+    )
+    machines.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write one machine's column as a run-ledger manifest JSON "
+             "(for 'runs compare'); see --manifest-machine",
+    )
+    machines.add_argument(
+        "--manifest-machine", metavar="NAME", default="sandybridge",
+        help="which machine's column --manifest-out exports "
+             "(default sandybridge)",
     )
     serve = sub.add_parser(
         "serve", help="run the long-lived evaluation service daemon",
@@ -429,6 +466,8 @@ def main(argv=None) -> int:
         return _run_tune(args, parser)
     if args.experiment == "ablate":
         return _run_ablate(args, parser)
+    if args.experiment == "machines":
+        return _run_machines(args, parser)
 
     config = MachineConfig()
     sections = []
@@ -794,6 +833,14 @@ def _run_tune(args, parser) -> int:
             "unknown workload %r; choose from: %s"
             % (args.app, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
         )
+    if args.machine is not None:
+        from ..machines import MachineModel
+        registered = MachineModel.registered_names()
+        if args.machine.lower() not in registered:
+            parser.error(
+                "unknown machine %r; registered: %s"
+                % (args.machine, ", ".join(registered))
+            )
     print("tuning %s (objective %s, strategy %s, scale %d, jobs %d)..."
           % (args.app, args.objective, args.strategy, args.scale, args.jobs),
           file=sys.stderr)
@@ -805,6 +852,7 @@ def _run_tune(args, parser) -> int:
             args.app, objective=args.objective, strategy=args.strategy,
             scale=args.scale, jobs=args.jobs, cache=not args.no_cache,
             cache_dir=args.cache_dir, interp=args.interp,
+            machine=args.machine,
         )
     stats = result.stats
     print(
@@ -861,6 +909,62 @@ def _run_ablate(args, parser) -> int:
             handle.write("\n")
         print("wrote %s" % args.out, file=sys.stderr)
     print(render_ablation_report(report))
+    return 0
+
+
+def _run_machines(args, parser) -> int:
+    import json
+
+    from ..machines import MachineModel
+    from .machines import (
+        compare_machines,
+        machines_manifest,
+        render_machines_report,
+    )
+
+    workloads = []
+    for name in args.apps or sorted(w.name for w in ALL_WORKLOADS):
+        try:
+            workloads.append(workload_by_name(name))
+        except KeyError:
+            parser.error(
+                "unknown workload %r; choose from: %s"
+                % (name, ", ".join(sorted(w.name for w in ALL_WORKLOADS)))
+            )
+    registered = MachineModel.registered_names()
+    if args.machine_list:
+        names = [n.strip().lower()
+                 for n in args.machine_list.split(",") if n.strip()]
+        unknown = [n for n in names if n not in registered]
+        if unknown:
+            parser.error(
+                "unknown machine(s) %s; registered: %s"
+                % (", ".join(sorted(unknown)), ", ".join(registered))
+            )
+    else:
+        names = list(registered)
+    if args.manifest_out and args.manifest_machine.lower() not in names:
+        parser.error(
+            "--manifest-machine %r is not among the compared machines (%s)"
+            % (args.manifest_machine, ", ".join(names))
+        )
+    print("comparing %s on %s (scale %d)..."
+          % (",".join(w.name for w in workloads), ",".join(names),
+             args.scale),
+          file=sys.stderr)
+    report = compare_machines(workloads, names, scale=args.scale)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+    if args.manifest_out:
+        manifest = machines_manifest(report, args.manifest_machine)
+        with open(args.manifest_out, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.manifest_out, file=sys.stderr)
+    print(render_machines_report(report))
     return 0
 
 

@@ -55,6 +55,15 @@ def render_tuning_report(result: TuningResult) -> str:
         "- scale: %d" % result.scale,
         "- tuned policy installed: %s"
         % ("yes" if result.installed else "no"),
+    ]
+    if result.machine is not None:
+        lines.append("- machine: `%s`" % result.machine)
+        if result.placement is not None:
+            lines.append(
+                "- tuned placement: access on `%s`, execute on `%s`"
+                % (result.placement["access"], result.placement["execute"])
+            )
+    lines += [
         "",
         "## Winner",
         "",
@@ -112,12 +121,24 @@ def render_tuning_report(result: TuningResult) -> str:
 
 def _render_matrix(result: TuningResult) -> str:
     """The evaluated (access, execute) objective values as a grid;
-    pairs no strategy visited print as ``-``."""
-    by_key = {c.pair.key: c for c in result.candidates}
+    pairs no strategy visited print as ``-``.
+
+    On a heterogeneous machine the same point pair exists once per
+    placement, so the grid shows only the winning placement's sweep
+    (every placement's best is in the Strategies table above).
+    """
+    candidates = result.candidates
+    title = "## Evaluated candidates (objective value)"
+    if result.placement is not None:
+        prefix = "%s->%s " % (result.placement["access"],
+                              result.placement["execute"])
+        candidates = [c for c in candidates if c.label.startswith(prefix)]
+        title += " — placement %s" % prefix.strip()
+    by_key = {c.pair.key: c for c in candidates}
     access_freqs = sorted({key[0] for key in by_key})
     execute_freqs = sorted({key[1] for key in by_key})
     lines = [
-        "## Evaluated candidates (objective value)",
+        title,
         "",
         "| access \\ execute | "
         + " | ".join("%.1f" % f for f in execute_freqs) + " |",

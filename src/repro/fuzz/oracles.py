@@ -34,6 +34,11 @@ them on *every* generated program:
 ``profile-determinism``
     the engine's persisted payload for the program is byte-identical
     across two independent ``profile_workload`` runs.
+``machine-invariance``
+    the machine-model collapse rule — scheduling on a degenerate
+    heterogeneous machine (two clusters with *behaviourally identical*
+    configs, migration transition) yields summaries bit-identical to
+    the plain homogeneous scheduler, for every scheme × policy.
 ``engine-pool`` (batch oracle, :func:`check_engine_pool_equivalence`)
     ``run_experiment`` over a batch of programs returns byte-identical
     payloads with ``jobs=1`` and ``jobs=2``.
@@ -88,6 +93,7 @@ ORACLE_NAMES = (
     "trace-invariance",
     "schedule-invariants",
     "profile-determinism",
+    "machine-invariance",
     "engine-pool",
 )
 
@@ -406,6 +412,54 @@ def _check_profile_determinism(case: FuzzCase,
     )]
 
 
+def _check_machine_invariance(case: FuzzCase,
+                              config: MachineConfig) -> list:
+    """The collapse rule behind every machine-model guarantee: two
+    core types with equal configs are indistinguishable, so a
+    migration-based machine built from them must schedule every
+    program bit-identically to the homogeneous scheduler — no
+    migrations, no transition charges, same summary dict."""
+    from ..machines.model import CoreType, MachineModel, migrate
+
+    seed = case.program.seed
+    degenerate = MachineModel(
+        name="degenerate",
+        description="two behaviourally identical clusters",
+        core_types=(
+            CoreType(name="big", count=config.cores, config=config),
+            CoreType(name="little", count=config.cores, config=config),
+        ),
+        transition=migrate(2000.0, flush=True),
+        access_type="little",
+        execute_type="big",
+    ).validate()
+    workload = FuzzWorkload(case.program)
+    compiled = workload.compile()
+    problems = []
+    for scheme in ORACLE_SCHEMES:
+        memory, tasks, _ = workload.instantiate(compiled=compiled)
+        profile = TaskStreamProfiler(memory, config).profile(tasks, scheme)
+        for policy_name in ORACLE_POLICIES:
+            policy = FrequencyPolicy.from_name(policy_name, config)
+            plain = DAEScheduler(config).run(
+                profile.tasks, scheme, policy, record_timeline=False
+            )
+            hetero = DAEScheduler(machine=degenerate).run(
+                profile.tasks, scheme, policy, record_timeline=False
+            )
+            if plain.summary() != hetero.summary():
+                problems.append(
+                    "scheme %s / policy %s: degenerate machine summary "
+                    "differs from homogeneous: %r vs %r"
+                    % (scheme.value, policy_name,
+                       hetero.summary(), plain.summary())
+                )
+    return [
+        OracleViolation("machine-invariance", seed, p, case.program.source)
+        for p in problems
+    ]
+
+
 def run_oracles(program: GeneratedProgram,
                 config: Optional[MachineConfig] = None,
                 case: Optional[FuzzCase] = None) -> list:
@@ -434,6 +488,8 @@ def run_oracles(program: GeneratedProgram,
          lambda: _check_schedule_invariants(case, config)),
         ("profile-determinism",
          lambda: _check_profile_determinism(case, config)),
+        ("machine-invariance",
+         lambda: _check_machine_invariance(case, config)),
     )
     for name, check in checks:
         try:

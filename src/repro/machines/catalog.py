@@ -1,0 +1,109 @@
+"""The shipped machine catalog: sandybridge, biglittle, ideal.
+
+``sandybridge``
+    The homogeneous default — exactly ``MachineConfig()`` wrapped as a
+    single-type machine.  The pinned equivalence suite proves it
+    reproduces the pre-machines scheduler bit-for-bit.
+
+``biglittle``
+    4 big (Sandy Bridge-like out-of-order) + 4 LITTLE (narrow,
+    low-voltage, in-order-ish) cores in the in-kernel-switcher slot
+    arrangement, sharing the LLC.  Decoupled schemes place access
+    phases on LITTLE and execute phases on big; each phase boundary
+    that crosses clusters costs a thread migration that cold-starts
+    the destination's private caches (Weber et al.'s big.LITTLE DAE).
+
+``ideal``
+    The zero-latency oracle of Section 6.1 ("ideal future hardware"):
+    the sandybridge table with free transitions — an upper bound on
+    what faster DVFS hardware could recover.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import CacheConfig, MachineConfig, OperatingPoint
+from .model import CoreType, MachineModel, homogeneous_machine, migrate
+
+#: Migration cost between clusters, dominated by the in-kernel
+#: switcher's state hand-off (the private-cache cold start is modelled
+#: separately via ``flush``).
+BIGLITTLE_MIGRATION_NS = 2000.0
+
+
+def little_operating_points() -> tuple[OperatingPoint, ...]:
+    """A Cortex-A7-like table: 0.6-1.4 GHz at low voltage."""
+    freqs = [0.6, 0.8, 1.0, 1.2, 1.4]
+    fmin, fmax = freqs[0], freqs[-1]
+    vmin, vmax = 0.90, 1.10
+    return tuple(
+        OperatingPoint(f, vmin + (vmax - vmin) * (f - fmin) / (fmax - fmin))
+        for f in freqs
+    )
+
+
+def little_config() -> MachineConfig:
+    """The LITTLE cluster: narrow issue, small privates, low power.
+
+    The LLC is *shared* with the big cluster, so its geometry must
+    match :class:`MachineConfig`'s default exactly; everything private
+    is halved or better, and the power coefficients drop to roughly a
+    quarter of the big core's (in-order cores spend no energy on
+    speculation or wide issue).  Memory-level parallelism shrinks with
+    the smaller miss-handling capacity.
+    """
+    return MachineConfig(
+        cores=4,
+        issue_width=2,
+        l1=CacheConfig(1 * 1024, 2, latency_cycles=3),
+        l2=CacheConfig(8 * 1024, 4, latency_cycles=10),
+        llc=CacheConfig(24 * 1024, 16, latency_cycles=30),
+        mlp_demand=2.0,
+        mlp_prefetch=4.0,
+        mlp_hw_stream=3.0,
+        mlp_store=2.0,
+        operating_points=little_operating_points(),
+        ceff_slope=0.05,
+        ceff_base=0.45,
+        static_base_w=0.15,
+        static_fv_w=0.08,
+    ).validate()
+
+
+def sandybridge_machine() -> MachineModel:
+    """The existing homogeneous default as a registered machine."""
+    return homogeneous_machine(
+        "sandybridge", MachineConfig(),
+        description="homogeneous Sandy Bridge-like quad core (default)",
+    )
+
+
+def ideal_machine() -> MachineModel:
+    """sandybridge with free transitions (Section 6.1's oracle)."""
+    return homogeneous_machine(
+        "ideal", MachineConfig(dvfs_transition_ns=0.0).validate(),
+        description="sandybridge with zero-latency transitions (oracle)",
+    )
+
+
+def biglittle_machine() -> MachineModel:
+    """4 big + 4 LITTLE; DAE places access on LITTLE, execute on big."""
+    big = MachineConfig().validate()
+    return MachineModel(
+        name="biglittle",
+        description=(
+            "4 big + 4 LITTLE sharing the LLC; decoupled access phases "
+            "migrate to the LITTLE cluster"
+        ),
+        core_types=(
+            CoreType(name="big", count=4, config=big),
+            CoreType(name="little", count=4, config=little_config()),
+        ),
+        transition=migrate(BIGLITTLE_MIGRATION_NS, flush=True),
+        access_type="little",
+        execute_type="big",
+    ).validate()
+
+
+MachineModel.register("sandybridge", sandybridge_machine)
+MachineModel.register("biglittle", biglittle_machine)
+MachineModel.register("ideal", ideal_machine)

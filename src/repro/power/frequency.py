@@ -183,11 +183,10 @@ def fixed_policy_at(freq_ghz: float, config: MachineConfig) -> FixedPolicy:
             "fixed frequency %.3f GHz outside the DVFS range %.1f-%.1f GHz"
             % (freq_ghz, lo, hi)
         )
-    # Distances quantized to 1 kHz so a midpoint like 2.2 GHz is a real
-    # tie (and resolves low) instead of hinging on float rounding.
-    nearest = min(points, key=lambda p: (round(abs(p.freq_ghz - freq_ghz)
-                                               * 1e6), p.freq_ghz))
-    return FixedPolicy(nearest)
+    # The snap itself (nearest point, midpoint ties resolve to the
+    # lower frequency) is MachineConfig.point_for's contract; sharing
+    # it keeps the policy and the table in permanent agreement.
+    return FixedPolicy(config.point_for(freq_ghz))
 
 
 def _fixed_from_arg(config: MachineConfig, arg: str) -> FixedPolicy:

@@ -128,6 +128,26 @@ def transition_energy(config: MachineConfig, point: OperatingPoint,
     )
 
 
+def migration_energy(latency_ns: float, point: OperatingPoint,
+                     config: MachineConfig,
+                     active_cores: int = 1) -> EnergyBreakdown:
+    """A cross-cluster thread migration: static energy only.
+
+    Heterogeneous machines replace the DVFS ramp with a migration to a
+    core of another type (Weber et al.'s big.LITTLE DAE).  The model
+    treats it exactly like a transition — no instructions retire while
+    architectural state moves, so only the *destination* core's static
+    power burns over the migration latency — and books the energy in
+    the ``transition_nj`` component so ledger and attribution roll-ups
+    group ramps and migrations together.
+    """
+    power = static_power(point, active_cores, config)
+    energy_nj = power * latency_ns
+    return EnergyBreakdown(
+        time_ns=latency_ns, energy_nj=energy_nj, transition_nj=energy_nj
+    )
+
+
 def edp(time_ns: float, energy_nj: float) -> float:
     """Energy-delay product in joule-seconds (SI)."""
     return (energy_nj * 1e-9) * (time_ns * 1e-9)

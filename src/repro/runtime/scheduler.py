@@ -24,13 +24,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..obs.events import get_collector
 from ..obs.timeline import Timeline
 from ..power.frequency import FrequencyPolicy
 from ..power.model import (
     EnergyBreakdown,
+    migration_energy,
     phase_energy,
     static_energy,
     static_power,
@@ -38,6 +39,9 @@ from ..power.model import (
 )
 from ..sim.config import MachineConfig, OperatingPoint
 from .task import Scheme, TaskProfile
+
+if TYPE_CHECKING:  # avoids a runtime import cycle via machines.replay
+    from ..machines.model import CoreType, MachineModel
 
 
 @dataclass
@@ -72,6 +76,14 @@ class ScheduleResult:
     #: Per-core activity timeline; only recorded when observability is
     #: on (or the caller forces ``record_timeline=True``).
     timeline: Optional[Timeline] = None
+    #: Heterogeneous-machine annotations.  ``machine`` is the model
+    #: name, ``migrations`` counts cross-cluster phase moves (energy in
+    #: ``transition_nj``), ``placement`` maps phase role -> core-type
+    #: name.  All stay at their defaults on homogeneous runs so
+    #: ``summary()`` remains byte-identical to the pre-machines output.
+    machine: Optional[str] = None
+    migrations: int = 0
+    placement: Optional[dict] = None
 
     @property
     def energy_j(self) -> float:
@@ -89,7 +101,7 @@ class ScheduleResult:
         """SI-unit summary shared by the evaluation reports and the
         trace exporter (one source for time/energy/EDP arithmetic)."""
         buckets = self.buckets
-        return {
+        out = {
             "scheme": self.scheme,
             "policy": self.policy,
             "time_s": self.time_s,
@@ -108,14 +120,29 @@ class ScheduleResult:
                 "osi_j": buckets.osi_nj * 1e-9,
             },
         }
+        if self.machine is not None:
+            out["machine"] = self.machine
+            out["migrations"] = self.migrations
+            out["placement"] = dict(self.placement or {})
+        return out
 
 
 @dataclass
 class _CoreState:
+    """One scheduling slot.
+
+    Homogeneous machines leave ``core_type`` as ``None`` — the slot is
+    simply the core.  On a heterogeneous machine the slot pairs one
+    core of each placed type (the in-kernel switcher arrangement):
+    ``core_type`` names the cluster the task currently occupies and
+    the inactive sibling is power-gated.
+    """
+
     index: int = 0
     clock_ns: float = 0.0
     point: Optional[OperatingPoint] = None
     queue: deque = field(default_factory=deque)
+    core_type: Optional["CoreType"] = None
 
 
 class DAEScheduler:
@@ -128,8 +155,41 @@ class DAEScheduler:
     #: Power of a sleeping core (deep C-state).
     sleep_power_w: float = 0.15
 
-    def __init__(self, config: Optional[MachineConfig] = None):
-        self.config = config or MachineConfig()
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 machine: Optional["MachineModel"] = None,
+                 placement: Optional[tuple] = None):
+        """``config`` alone reproduces the homogeneous scheduler.
+
+        ``machine`` schedules on a registered
+        :class:`~repro.machines.model.MachineModel` instead; a
+        homogeneous machine runs the exact same code path as its
+        config, a heterogeneous one adds the placement/migration step.
+        ``placement`` optionally overrides the machine's declared
+        (access, execute) core-type names — the tuner's placement
+        search uses it.  Passing both ``config`` and ``machine`` is a
+        contradiction and raises ``ValueError``.
+        """
+        if machine is not None and config is not None:
+            raise ValueError(
+                "pass either a MachineConfig or a MachineModel, not both"
+            )
+        if placement is not None and machine is None:
+            raise ValueError("placement requires a machine")
+        self.machine = machine
+        self._placement_override = (
+            tuple(placement) if placement is not None else None
+        )
+        #: (access CoreType, execute CoreType) of the run in flight;
+        #: ``None`` selects the homogeneous code path.
+        self._run_placement = None
+        if machine is None:
+            self.config = config or MachineConfig()
+        else:
+            # The execute type anchors the homogeneous-equivalent
+            # config (coupled schemes pin to it anyway).
+            self.config = machine.placement(
+                "dae", self._placement_override
+            )[1].config
 
     def run(self, profiles: list[TaskProfile],
             scheme: Union[Scheme, str],
@@ -143,17 +203,42 @@ class DAEScheduler:
 
         ``record_timeline`` defaults to whether the observability
         collector is enabled.
+
+        Both selection loops break ties by core index: the
+        lowest-indexed core among those sharing the minimum clock runs
+        next, and the lowest-indexed among the fullest queues is the
+        steal victim.  This pins what ``min``/``max`` previously
+        guaranteed only implicitly (first match in list order), so the
+        schedule is deterministic by contract, not by accident.
         """
         scheme = Scheme.coerce(scheme, context="DAEScheduler.run").value
         config = self.config
         collector = get_collector()
         if record_timeline is None:
             record_timeline = collector.enabled
-        cores = [_CoreState(index=i) for i in range(config.cores)]
+        placement = None
+        if self.machine is not None:
+            access_type, execute_type = self.machine.placement(
+                scheme, self._placement_override
+            )
+            if access_type.config != execute_type.config:
+                placement = (access_type, execute_type)
+        self._run_placement = placement
+        if placement is not None:
+            width = self.machine.slots(scheme, self._placement_override)
+        else:
+            width = config.cores
+        cores = [_CoreState(index=i) for i in range(width)]
         for i, profile in enumerate(profiles):
-            cores[i % config.cores].queue.append(profile)
+            cores[i % width].queue.append(profile)
 
         result = ScheduleResult(scheme=scheme, policy=policy.name)
+        if placement is not None:
+            result.machine = self.machine.name
+            result.placement = {
+                "access": placement[0].name,
+                "execute": placement[1].name,
+            }
         timeline = Timeline(scheme=scheme, policy=policy.name) if (
             record_timeline
         ) else None
@@ -165,9 +250,9 @@ class DAEScheduler:
         # A successful thief runs the stolen task immediately (otherwise
         # near-equal clocks let idle cores re-steal it forever).
         while True:
-            core = min(cores, key=lambda c: c.clock_ns)
+            core = min(cores, key=lambda c: (c.clock_ns, c.index))
             if not core.queue:
-                victim = max(cores, key=lambda c: len(c.queue))
+                victim = max(cores, key=lambda c: (len(c.queue), -c.index))
                 if not victim.queue:
                     break
                 core.queue.append(victim.queue.pop())
@@ -184,7 +269,12 @@ class DAEScheduler:
                     )
                 result.steals += 1
             profile = core.queue.popleft()
-            self._run_task(core, profile, scheme, policy, result, timeline)
+            if self._run_placement is not None:
+                self._run_task_hetero(core, profile, scheme, policy,
+                                      result, timeline)
+            else:
+                self._run_task(core, profile, scheme, policy, result,
+                               timeline)
             result.tasks_run += 1
 
         result.time_ns = max(c.clock_ns for c in cores) if cores else 0.0
@@ -294,13 +384,14 @@ class DAEScheduler:
 
     def _maybe_switch(self, core: _CoreState, point: OperatingPoint,
                       result: ScheduleResult, timeline: Optional[Timeline],
-                      hide_ns: float = 0.0) -> None:
+                      hide_ns: float = 0.0,
+                      config: Optional[MachineConfig] = None) -> None:
         if core.point is not None and core.point is point:
             return
         if core.point is not None and core.point.freq_ghz == point.freq_ghz:
             core.point = point
             return
-        config = self.config
+        config = config or self.config
         if core.point is not None and config.dvfs_transition_ns > 0:
             breakdown = transition_energy(config, point)
             visible_ns = breakdown.time_ns
@@ -324,3 +415,163 @@ class DAEScheduler:
             result.transition_nj += breakdown.energy_nj
             result.transitions += 1
         core.point = point
+
+    # -- heterogeneous placement -----------------------------------------------
+
+    def _run_task_hetero(self, core: _CoreState, profile: TaskProfile,
+                         scheme: str, policy: FrequencyPolicy,
+                         result: ScheduleResult,
+                         timeline: Optional[Timeline]) -> None:
+        """One task on a heterogeneous slot.
+
+        Mirrors :meth:`_run_task` with three differences: each phase
+        carries its core type's config (table, power coefficients,
+        timing knobs); a phase landing on the other cluster pays a
+        thread migration instead of a DVFS ramp; and operating points
+        a policy picked off-table are projected onto the target type's
+        table (``point_for(..., clamp=True)``).
+        """
+        machine = self.machine
+        access_type, execute_type = self._run_placement
+        buckets = result.buckets
+        task_name = profile.instance.name
+
+        # Dispatch overhead runs wherever the slot currently resides
+        # (the execute cluster when cold), at its current point.
+        resident = core.core_type or execute_type
+        overhead_point = core.point or resident.config.fmin
+        overhead = static_energy(
+            self.task_overhead_ns,
+            static_power(overhead_point, 1, resident.config),
+        )
+        start = core.clock_ns
+        core.clock_ns += self.task_overhead_ns
+        if timeline is not None:
+            timeline.add(
+                core.index, "overhead", start, core.clock_ns,
+                task=task_name, freq_ghz=overhead_point.freq_ghz,
+                energy=overhead,
+            )
+        buckets.osi_ns += self.task_overhead_ns
+        buckets.osi_nj += overhead.energy_nj
+
+        run_access = scheme in ("dae", "manual") and profile.access is not None
+        access_time = 0.0
+        if run_access:
+            target = access_type
+            config = target.config
+            access_point = config.point_for(
+                policy.access_point(profile.access, config).freq_ghz,
+                clamp=True,
+            )
+            predicted = profile.access.time_ns(access_point, config)
+            needs_migration = (
+                core.core_type is not None
+                and core.core_type.config != config
+            )
+            if needs_migration and predicted < machine.transition.latency_ns:
+                # Break-even guard, migration flavour: moving clusters
+                # for a phase shorter than the migration itself can
+                # never pay off; run the access phase where the slot
+                # already resides.
+                target = core.core_type
+                config = target.config
+                access_point = config.point_for(
+                    policy.access_point(profile.access, config).freq_ghz,
+                    clamp=True,
+                )
+            elif not needs_migration and predicted < (
+                    config.dvfs_transition_ns):
+                # DVFS flavour, as in the homogeneous path.
+                if core.point is not None:
+                    access_point = core.point
+                else:
+                    access_point = config.point_for(
+                        policy.execute_point(
+                            profile.execute, config
+                        ).freq_ghz,
+                        clamp=True,
+                    )
+            time = profile.access.time_ns(access_point, config)
+            hide = profile.access.prefetch_mem_ns(config) + (
+                profile.access.demand_mem_ns(config)
+            )
+            self._place(core, target, access_point, result, timeline,
+                        hide_ns=hide)
+            ipc = profile.access.ipc(access_point, config)
+            breakdown = phase_energy(time, access_point, ipc, config)
+            start = core.clock_ns
+            core.clock_ns += time
+            if timeline is not None:
+                timeline.add(
+                    core.index, "access", start, core.clock_ns,
+                    task=task_name, freq_ghz=access_point.freq_ghz,
+                    energy=breakdown,
+                )
+            access_time = time
+            buckets.prefetch_ns += time
+            buckets.prefetch_nj += breakdown.energy_nj
+
+        config = execute_type.config
+        execute_point = config.point_for(
+            policy.execute_point(profile.execute, config).freq_ghz,
+            clamp=True,
+        )
+        self._place(core, execute_type, execute_point, result, timeline,
+                    hide_ns=access_time)
+        time = profile.execute.time_ns(execute_point, config)
+        ipc = profile.execute.ipc(execute_point, config)
+        breakdown = phase_energy(time, execute_point, ipc, config)
+        start = core.clock_ns
+        core.clock_ns += time
+        if timeline is not None:
+            timeline.add(
+                core.index, "execute", start, core.clock_ns,
+                task=task_name, freq_ghz=execute_point.freq_ghz,
+                energy=breakdown,
+            )
+        buckets.task_ns += time
+        buckets.task_nj += breakdown.energy_nj
+
+    def _place(self, core: _CoreState, target: "CoreType",
+               point: OperatingPoint, result: ScheduleResult,
+               timeline: Optional[Timeline],
+               hide_ns: float = 0.0) -> None:
+        """Move the slot to ``target`` at ``point``.
+
+        Cold slots start free (like the homogeneous first switch).  A
+        behaviourally different target costs one thread migration —
+        charged as a ``switch`` segment whose latency is never hidden
+        (architectural state moves serially) and whose static-only
+        energy lands in ``transition_nj``; the destination comes up
+        already at the requested point, any ramp overlapping the
+        migration.  A behaviourally *identical* target is a no-op move
+        (nothing to gain from identical silicon) followed by the
+        ordinary DVFS switch under the target's config.
+        """
+        if core.core_type is None:
+            core.core_type = target
+            core.point = point
+            return
+        if core.core_type.config != target.config:
+            machine = self.machine
+            breakdown = migration_energy(
+                machine.transition.latency_ns, point, target.config
+            )
+            start = core.clock_ns
+            core.clock_ns += breakdown.time_ns
+            if timeline is not None:
+                timeline.add(
+                    core.index, "switch", start, core.clock_ns,
+                    freq_ghz=point.freq_ghz, energy=breakdown,
+                )
+            result.buckets.osi_ns += breakdown.time_ns
+            result.buckets.osi_nj += breakdown.energy_nj
+            result.transition_nj += breakdown.energy_nj
+            result.migrations += 1
+            core.core_type = target
+            core.point = point
+            return
+        core.core_type = target
+        self._maybe_switch(core, point, result, timeline,
+                           hide_ns=hide_ns, config=target.config)

@@ -97,7 +97,7 @@ def error_doc(code: str, detail: str, **extra: Any) -> Dict[str, Any]:
 #: (default) machine config, exactly like the CLI experiments.
 WIRE_SPEC_FIELDS = (
     "workloads", "schemes", "scale", "jobs", "cache", "cache_dir",
-    "timeout_s", "interp",
+    "timeout_s", "interp", "machine",
 )
 
 
@@ -125,6 +125,7 @@ def spec_to_doc(spec: ExperimentSpec) -> Dict[str, Any]:
         "cache_dir": spec.cache_dir,
         "timeout_s": spec.timeout_s,
         "interp": spec.interp,
+        "machine": spec.machine,
     }
 
 
@@ -161,7 +162,7 @@ def spec_from_doc(doc: Dict[str, Any]) -> ExperimentSpec:
 def tune_from_doc(doc: Dict[str, Any]) -> Dict[str, Any]:
     """Validate a tune-job document into ``tune_workload`` kwargs."""
     allowed = ("workload", "objective", "strategy", "scheme", "scale",
-               "jobs", "cache", "cache_dir")
+               "jobs", "cache", "cache_dir", "machine")
     if not isinstance(doc, dict):
         raise ValueError("tune must be a JSON object, got %r" % (doc,))
     unknown = set(doc) - set(allowed)
@@ -197,6 +198,10 @@ def job_key(kind: str, doc: Dict[str, Any]) -> str:
             "scale": spec.scale,
             "config": _config_material(MachineConfig()),
         }
+        # Result-determining, so distinct machines must not coalesce;
+        # omitted when unset to keep historical keys stable.
+        if spec.machine is not None:
+            material["machine"] = spec.machine
     elif kind == "tune":
         kwargs = tune_from_doc(doc)
         material = {
@@ -208,6 +213,8 @@ def job_key(kind: str, doc: Dict[str, Any]) -> str:
             "scale": kwargs.get("scale", 1),
             "config": _config_material(MachineConfig()),
         }
+        if kwargs.get("machine") is not None:
+            material["machine"] = str(kwargs["machine"]).lower()
     else:
         raise ValueError("unknown job kind %r" % (kind,))
     return _cache_key(material)

@@ -12,6 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class MachineConfigError(ValueError):
+    """A machine description is internally inconsistent.
+
+    Raised by :meth:`MachineConfig.validate` (and by the machine
+    catalog constructors in :mod:`repro.machines`) so that a bad
+    description fails loudly at build time instead of producing a
+    quietly wrong simulation.
+    """
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """One cache level.
@@ -157,11 +167,96 @@ class MachineConfig:
     def fmax(self) -> OperatingPoint:
         return self.operating_points[-1]
 
-    def point_for(self, freq_ghz: float) -> OperatingPoint:
+    def point_for(self, freq_ghz: float,
+                  clamp: bool = False) -> OperatingPoint:
+        """The table point nearest ``freq_ghz``.
+
+        Within the DVFS range the request snaps to the nearest
+        operating point, resolving an exact midpoint toward the
+        *lower* frequency — the same contract as
+        :func:`repro.power.frequency.fixed_policy_at`, so the two can
+        never disagree about what ``2.2 GHz`` means.  Distances are
+        quantized to 1 kHz so midpoints are real ties instead of
+        hinging on float rounding.
+
+        Out-of-range frequencies raise :class:`KeyError` (there is no
+        such point on this machine) unless ``clamp=True``, which pins
+        them to ``fmin``/``fmax`` — the heterogeneous scheduler uses
+        that to project one core type's point onto another type's
+        table.
+        """
+        points = sorted(self.operating_points, key=lambda p: p.freq_ghz)
+        lo, hi = points[0].freq_ghz, points[-1].freq_ghz
+        if not (lo - 1e-9 <= freq_ghz <= hi + 1e-9):
+            if not clamp:
+                raise KeyError(
+                    "no operating point at %.2f GHz (range %.2f-%.2f)"
+                    % (freq_ghz, lo, hi)
+                )
+            return points[0] if freq_ghz < lo else points[-1]
+        return min(points, key=lambda p: (round(abs(p.freq_ghz - freq_ghz)
+                                                * 1e6), p.freq_ghz))
+
+    def validate(self) -> "MachineConfig":
+        """Check internal consistency; raise :class:`MachineConfigError`.
+
+        Returns ``self`` so constructors can end with
+        ``return MachineConfig(...).validate()``.
+        """
+        if self.cores < 1:
+            raise MachineConfigError(
+                "cores must be >= 1, got %d" % self.cores
+            )
+        if self.issue_width < 1:
+            raise MachineConfigError(
+                "issue_width must be >= 1, got %d" % self.issue_width
+            )
+        if not self.operating_points:
+            raise MachineConfigError("operating_points must not be empty")
+        prev = None
         for point in self.operating_points:
-            if abs(point.freq_ghz - freq_ghz) < 1e-9:
-                return point
-        raise KeyError("no operating point at %.2f GHz" % freq_ghz)
+            if point.freq_ghz <= 0 or point.voltage <= 0:
+                raise MachineConfigError(
+                    "operating point (%.3f GHz, %.3f V) must be positive"
+                    % (point.freq_ghz, point.voltage)
+                )
+            if prev is not None:
+                if point.freq_ghz <= prev.freq_ghz:
+                    raise MachineConfigError(
+                        "operating-point frequencies must be strictly "
+                        "increasing; %.3f GHz follows %.3f GHz"
+                        % (point.freq_ghz, prev.freq_ghz)
+                    )
+                if point.voltage < prev.voltage:
+                    raise MachineConfigError(
+                        "operating-point voltages must be non-decreasing; "
+                        "%.3f V follows %.3f V"
+                        % (point.voltage, prev.voltage)
+                    )
+            prev = point
+        if self.mem_latency_ns <= 0:
+            raise MachineConfigError(
+                "mem_latency_ns must be positive, got %g"
+                % self.mem_latency_ns
+            )
+        if self.dvfs_transition_ns < 0:
+            raise MachineConfigError(
+                "dvfs_transition_ns must be >= 0, got %g"
+                % self.dvfs_transition_ns
+            )
+        for level in ("l1", "l2", "llc"):
+            cache = getattr(self, level)
+            if cache.latency_cycles <= 0:
+                raise MachineConfigError(
+                    "%s latency_cycles must be positive, got %d"
+                    % (level, cache.latency_cycles)
+                )
+            if cache.size_bytes <= 0 or cache.ways <= 0:
+                raise MachineConfigError(
+                    "%s geometry must be positive (size_bytes=%d, ways=%d)"
+                    % (level, cache.size_bytes, cache.ways)
+                )
+        return self
 
 
 def sandybridge_full() -> MachineConfig:
@@ -170,7 +265,7 @@ def sandybridge_full() -> MachineConfig:
         l1=CacheConfig(32 * 1024, 8, latency_cycles=4),
         l2=CacheConfig(256 * 1024, 8, latency_cycles=12),
         llc=CacheConfig(8 * 1024 * 1024, 16, latency_cycles=30),
-    )
+    ).validate()
 
 
 DEFAULT_CONFIG = MachineConfig()

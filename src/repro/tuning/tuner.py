@@ -194,6 +194,10 @@ class TuningResult:
     policy: Optional[TunedPolicy]
     installed: bool
     stats: TuningStats
+    #: Machine-model annotations; ``None`` for plain-config tuning so
+    #: machine-less reports stay byte-identical.
+    machine: Optional[str] = None
+    placement: Optional[dict] = None
 
     def improvement_over_phase_local(self) -> Optional[float]:
         """Fractional objective improvement of the tuned pair over the
@@ -229,22 +233,26 @@ class TuningResult:
         }
         for label, candidate in sorted(self.references.items()):
             schedules[label] = entry(label, candidate)
+        tuning = {
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "best": self.best.label,
+            "installed": self.installed,
+            "improvement_over_phase_local":
+                self.improvement_over_phase_local(),
+        }
+        if self.machine is not None:
+            tuning["machine"] = self.machine
+            tuning["placement"] = self.placement
         return {
             "schedules": schedules,
-            "tuning": {
-                "objective": self.objective,
-                "strategy": self.strategy,
-                "best": self.best.label,
-                "installed": self.installed,
-                "improvement_over_phase_local":
-                    self.improvement_over_phase_local(),
-            },
+            "tuning": tuning,
         }
 
     def as_dict(self) -> dict:
         """Deterministic JSON document (no wall-clock, no cache state —
         repeat runs of the same tuning problem byte-match)."""
-        return {
+        doc = {
             "workload": self.workload,
             "scheme": self.scheme,
             "objective": self.objective,
@@ -267,6 +275,10 @@ class TuningResult:
             ],
             "candidates": [c.as_dict() for c in self.candidates],
         }
+        if self.machine is not None:
+            doc["machine"] = self.machine
+            doc["placement"] = self.placement
+        return doc
 
 
 class _PhaseLocalPolicy(FrequencyPolicy):
@@ -575,7 +587,8 @@ def tune_workload(workload: Union[Workload, str, type], *,
                   cache_dir: Optional[str] = None,
                   options: Optional[AccessPhaseOptions] = None,
                   interp: Optional[str] = None,
-                  install: bool = True) -> TuningResult:
+                  install: bool = True,
+                  machine=None) -> TuningResult:
     """Auto-tune ``workload``'s operating points under ``objective``.
 
     ``strategy`` is one of :data:`STRATEGIES` or ``"all"``.  Profiling
@@ -587,7 +600,32 @@ def tune_workload(workload: Union[Workload, str, type], *,
     picks the profiling interpreter (``None``: ``$REPRO_INTERP``, then
     ``"replay"``); it cannot change any profile, only the wall-clock
     cost of the prefetch-stream profiling runs.
+
+    ``machine`` names a registered
+    :class:`~repro.machines.model.MachineModel` (or passes one
+    directly) and excludes ``config``.  A homogeneous machine tunes
+    exactly like its config.  A heterogeneous one switches to the
+    placement search: every (access type, execute type) assignment ×
+    the cross product of the two types' operating-point tables,
+    scheduled on the machine (migrations charged), exhaustively —
+    the continuous strategies assume one table and do not apply.
     """
+    if machine is not None:
+        if config is not None:
+            raise ValueError(
+                "pass either config= or machine=, not both"
+            )
+        if isinstance(machine, str):
+            from ..machines import MachineModel
+            machine = MachineModel.from_name(machine)
+        if machine.heterogeneous:
+            return _tune_heterogeneous(
+                machine, workload, objective=objective, scheme=scheme,
+                scale=scale, options=options, interp=interp,
+                install=install, strategy=strategy,
+            )
+        config = machine.config
+    machine_name = machine.name if machine is not None else None
     config = config or MachineConfig()
     objective = resolve_objective(objective)
     scheme = Scheme.coerce(scheme, context="tune_workload")
@@ -684,7 +722,161 @@ def tune_workload(workload: Union[Workload, str, type], *,
         strategy=strategy, scale=scale, best=best, phase_local=phase_local,
         strategies=summaries, candidates=pair_candidates,
         references=references, front=front, policy=policy,
-        installed=installed, stats=stats,
+        installed=installed, stats=stats, machine=machine_name,
+    )
+
+
+# -- heterogeneous placement search --------------------------------------------
+
+
+def _tune_heterogeneous(machine, workload, *, objective, scheme, scale,
+                        options, interp, install,
+                        strategy) -> TuningResult:
+    """Placement × per-type point search on a heterogeneous machine.
+
+    The workload is recorded once (trace replay is mandatory on
+    heterogeneous machines) and re-simulated per candidate placement,
+    because a phase's cache profile depends on which cluster's privates
+    it replays through.  Every placement then sweeps the full cross
+    product of the placed types' operating-point tables at schedule
+    level — migrations, break-even guards and power-gated siblings
+    included.  The continuous strategies (golden, descent) assume one
+    table and are skipped; ``strategy`` is recorded as requested but
+    the search is always exhaustive.
+    """
+    from ..engine.products import profile_workload
+    from ..interp.trace import TraceStore
+    from ..machines.replay import machine_stream
+
+    objective = resolve_objective(objective)
+    scheme = Scheme.coerce(scheme, context="tune_workload")
+    stream = Scheme.CAE if scheme is Scheme.CAE else scheme
+    run_scheme = Scheme.CAE if scheme is Scheme.CAE else Scheme.DAE
+
+    collector = get_collector()
+    stats = TuningStats()
+    with collector.span("tuning.run", cat="tuning", args={
+        "objective": objective.spec, "strategy": "placement-exhaustive",
+        "scheme": scheme.value, "scale": scale, "machine": machine.name,
+    }) as span:
+        spec = ExperimentSpec(
+            workloads=(workload,), schemes=(stream,), scale=scale,
+            options=options, cache=False, interp=interp,
+        )
+        resolved = spec.resolve_workloads()[0]
+        span.args["workload"] = resolved.name
+        store = TraceStore()
+        profile_workload(
+            resolved, scale, options=options, schemes=(stream,),
+            interp=interp, trace_store=store, machine=machine,
+        )
+        records = store.schemes[stream.value]
+
+        declared = (machine.access_type, machine.execute_type)
+        placements = [declared]
+        for candidate in ((machine.execute_type, machine.execute_type),
+                          (machine.access_type, machine.access_type)):
+            if candidate not in placements:
+                placements.append(candidate)
+
+        candidates: List[TuningCandidate] = []
+        summaries: List[StrategySummary] = []
+        memo: dict = {}
+        best_key = None
+        for rank, placed in enumerate(placements):
+            tasks = machine_stream(
+                records, stream.value, machine, placed
+            ).tasks
+            access_cfg = machine.placement(run_scheme.value, placed)[0].config
+            execute_cfg = machine.placement(run_scheme.value, placed)[1].config
+            scheduler = DAEScheduler(machine=machine, placement=placed)
+            placement_label = "%s->%s" % placed
+            placement_best = None
+            for access in sorted_points(access_cfg.operating_points):
+                for execute in sorted_points(execute_cfg.operating_points):
+                    pair = CandidatePair(access=access, execute=execute)
+                    stats.requests += 1
+                    stats.schedule_evals += 1
+                    stats.serial_evals += 1
+                    result = scheduler.run(
+                        tasks, run_scheme, TunedPolicy.from_pair(pair),
+                        record_timeline=False,
+                    )
+                    value = objective.value(result)
+                    candidate = TuningCandidate(
+                        label="%s %s" % (placement_label, pair_label(pair)),
+                        pair=pair,
+                        time_ns=result.time_ns,
+                        energy_nj=result.energy_nj,
+                        value=value,
+                        feasible=value != float("inf"),
+                        transitions=result.transitions,
+                        steals=result.steals,
+                    )
+                    candidates.append(candidate)
+                    memo[(placed, pair.key)] = candidate
+                    key = (value, rank, pair.key)
+                    if placement_best is None or key < placement_best[0]:
+                        placement_best = (key, candidate)
+                    if best_key is None or key < best_key[0]:
+                        best_key = (key, candidate, placed)
+            summaries.append(StrategySummary(
+                name="placement:%s" % placement_label,
+                evaluations=(len(access_cfg.operating_points)
+                             * len(execute_cfg.operating_points)),
+                best_label=placement_best[1].label,
+                best_value=placement_best[1].value,
+                detail="exhaustive over the placed types' tables",
+            ))
+
+        # The paper's per-phase baseline and the pinned reference
+        # policies, all under the declared placement.
+        default_tasks = machine_stream(
+            records, stream.value, machine, declared
+        ).tasks
+        scheduler = DAEScheduler(machine=machine, placement=declared)
+        result = scheduler.run(
+            default_tasks, run_scheme, _PhaseLocalPolicy(objective, stats),
+            record_timeline=False,
+        )
+        stats.schedule_evals += 1
+        stats.serial_evals += 1
+        value = objective.value(result)
+        phase_local = TuningCandidate(
+            label="phase-local", pair=None,
+            time_ns=result.time_ns, energy_nj=result.energy_nj,
+            value=value, feasible=value != float("inf"),
+            transitions=result.transitions, steals=result.steals,
+        )
+        access_cfg = machine.placement(run_scheme.value, declared)[0].config
+        execute_cfg = machine.placement(run_scheme.value, declared)[1].config
+        references = {}
+        for label, access_of, execute_of in _REFERENCE_PAIRS:
+            pair = CandidatePair(access=access_of(access_cfg),
+                                 execute=execute_of(execute_cfg))
+            references[label] = memo[(declared, pair.key)]
+
+        best = best_key[1]
+        placement = {"access": best_key[2][0], "execute": best_key[2][1]}
+        front = pareto_front(
+            [ParetoPoint(c.time_s, c.energy_j, c.label) for c in candidates]
+            + [ParetoPoint(phase_local.time_s, phase_local.energy_j,
+                           phase_local.label)]
+        )
+        policy = TunedPolicy.from_pair(best.pair)
+        installed = False
+        if install and best.feasible:
+            install_tuned_policy(policy)
+            installed = True
+        span.args.update(stats.as_dict())
+
+    return TuningResult(
+        workload=resolved.name, scheme=scheme.value,
+        objective=objective.spec, strategy=strategy, scale=scale,
+        best=best, phase_local=phase_local, strategies=summaries,
+        candidates=candidates, references=references, front=front,
+        policy=policy, installed=installed, stats=stats,
+        machine=machine.name, placement=placement,
     )
 
 

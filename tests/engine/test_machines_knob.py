@@ -1,0 +1,83 @@
+"""The spec/cache/service plumbing for the ``machine`` knob."""
+
+import pytest
+
+from repro.engine.cache import cache_key, key_material
+from repro.engine.products import EngineError
+from repro.engine.spec import ExperimentSpec
+from repro.machines import biglittle_machine
+from repro.service.protocol import (
+    job_key,
+    spec_from_doc,
+    spec_to_doc,
+    tune_from_doc,
+)
+from repro.sim import MachineConfig
+
+from .tinywork import TinyWorkload
+
+
+class TestSpecKnob:
+    def test_machine_name_is_lowercased_and_resolved(self):
+        spec = ExperimentSpec(machine="BigLittle")
+        assert spec.machine == "biglittle"
+        assert spec.resolve_machine().name == "biglittle"
+
+    def test_no_machine_resolves_to_none(self):
+        assert ExperimentSpec().resolve_machine() is None
+
+    def test_unknown_machine_raises_engine_error(self):
+        with pytest.raises(EngineError, match="registered"):
+            ExperimentSpec(machine="cray1")
+
+    def test_replace_revalidates_machine(self):
+        spec = ExperimentSpec()
+        with pytest.raises(EngineError, match="registered"):
+            spec.replace(machine="cray1")
+
+
+class TestCacheKey:
+    def _material(self, machine=None):
+        return key_material(
+            TinyWorkload(), 1, MachineConfig(), None, ("cae", "dae"),
+            machine=machine,
+        )
+
+    def test_machine_enters_material_only_when_set(self):
+        plain = self._material()
+        machined = self._material(machine=biglittle_machine())
+        assert "machine" not in plain
+        assert machined["machine"]["name"] == "biglittle"
+        assert machined["machine"]["transition"]["kind"] == "migrate"
+
+    def test_machine_changes_the_cache_key(self):
+        plain = self._material()
+        machined = self._material(machine=biglittle_machine())
+        assert cache_key(plain) != cache_key(machined)
+
+
+class TestWireProtocol:
+    def test_spec_doc_round_trips_machine(self):
+        spec = ExperimentSpec(workloads=("cg",), machine="biglittle")
+        doc = spec_to_doc(spec)
+        assert doc["machine"] == "biglittle"
+        assert spec_from_doc(doc).machine == "biglittle"
+
+    def test_machine_less_doc_round_trips_to_none(self):
+        doc = spec_to_doc(ExperimentSpec(workloads=("cg",)))
+        assert doc["machine"] is None
+        assert spec_from_doc(doc).machine is None
+
+    def test_experiment_job_keys_differ_by_machine(self):
+        plain = spec_to_doc(ExperimentSpec(workloads=("cg",)))
+        machined = spec_to_doc(
+            ExperimentSpec(workloads=("cg",), machine="biglittle")
+        )
+        assert (job_key("experiment", plain)
+                != job_key("experiment", machined))
+
+    def test_tune_doc_accepts_and_keys_machine(self):
+        doc = {"workload": "cg", "machine": "biglittle"}
+        assert tune_from_doc(doc)["machine"] == "biglittle"
+        assert (job_key("tune", {"workload": "cg"})
+                != job_key("tune", doc))

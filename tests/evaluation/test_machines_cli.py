@@ -1,0 +1,140 @@
+"""The ``machines`` verb: one recording per workload, every machine
+replayed from it, manifest projection for the run-ledger gate."""
+
+import json
+
+import pytest
+
+from repro.engine.products import ALL_SCHEMES, profile_workload
+from repro.evaluation.experiments import MANIFEST_CONFIGS
+from repro.evaluation.machines import (
+    compare_machines,
+    machines_manifest,
+    render_machines_report,
+)
+from repro.obs.ledger import RunManifest, compare_runs
+from repro.power.frequency import FrequencyPolicy
+from repro.runtime import DAEScheduler
+from repro.sim import MachineConfig
+
+from ..engine.tinywork import TinyWorkload
+
+MACHINES = ["sandybridge", "biglittle", "ideal"]
+LABELS = [label for label, _, _, _ in MANIFEST_CONFIGS]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compare_machines([TinyWorkload()], MACHINES)
+
+
+class TestReportShape:
+    def test_top_level(self, report):
+        assert report["kind"] == "machines"
+        assert report["scale"] == 1
+        assert report["machines"] == MACHINES
+        assert list(report["workloads"]) == ["tiny"]
+
+    def test_recorded_once_and_replayed(self, report):
+        doc = report["workloads"]["tiny"]
+        assert doc["replayed"] is True
+        assert doc["recorded_phases"] > 0
+        assert doc["recorded_events"] > 0
+        for name in MACHINES:
+            column = doc["machines"][name]
+            assert column["source"] == "replay"
+            assert list(column["schedules"]) == LABELS
+
+    def test_biglittle_column_carries_migrations(self, report):
+        schedules = report["workloads"]["tiny"]["machines"]["biglittle"][
+            "schedules"]
+        dae = schedules["Compiler DAE (Optimal f.)"]["summary"]
+        assert dae["machine"] == "biglittle"
+        assert dae["placement"] == {"access": "little", "execute": "big"}
+        assert dae["migrations"] > 0
+        # Coupled runs pin to the big cluster: no machine annotations.
+        cae = schedules["CAE (Max f.)"]["summary"]
+        assert "machine" not in cae
+
+    def test_relative_metrics_are_vs_own_cae(self, report):
+        for name in MACHINES:
+            schedules = report["workloads"]["tiny"]["machines"][name][
+                "schedules"]
+            relative = schedules["CAE (Max f.)"]["relative"]
+            assert relative == {"time": 1.0, "energy": 1.0, "edp": 1.0}
+
+    def test_sandybridge_column_matches_direct_schedule(self, report):
+        config = MachineConfig()
+        run = profile_workload(
+            TinyWorkload(), 1, config, schemes=ALL_SCHEMES, interp="replay",
+        )
+        for label, stream, run_scheme, policy_name in MANIFEST_CONFIGS:
+            policy = FrequencyPolicy.from_name(policy_name, config)
+            direct = DAEScheduler(config).run(
+                run.profiles[stream.value].tasks, run_scheme, policy,
+            )
+            column = report["workloads"]["tiny"]["machines"]["sandybridge"]
+            assert column["schedules"][label]["summary"] == direct.summary()
+
+
+class TestManifestProjection:
+    def test_round_trips_and_self_compares_clean(self, report):
+        doc = machines_manifest(report, "sandybridge")
+        manifest = RunManifest.from_dict(doc)
+        assert manifest.run_id == "machines-sandybridge"
+        assert manifest.kind == "machines"
+        assert list(manifest.workloads["tiny"]["schedules"]) == LABELS
+        comparison = compare_runs(manifest, RunManifest.from_dict(doc))
+        assert comparison.ok
+        assert comparison.identical
+
+    def test_manifest_spec_names_the_projection(self, report):
+        doc = machines_manifest(report, "sandybridge")
+        assert doc["workloads"]["tiny"]["from_cache"] is False
+        assert doc["spec"]["machine"] == "sandybridge"
+        assert doc["spec"]["machines"] == MACHINES
+
+
+class TestRendering:
+    def test_report_mentions_provenance_and_machines(self, report):
+        text = render_machines_report(report)
+        assert "zero re-interpretation" in text
+        for name in MACHINES:
+            assert name in text
+        assert "little->big" in text
+
+
+class TestCLI:
+    def test_machines_verb_writes_report_and_manifest(self, tmp_path,
+                                                      capsys):
+        from repro.evaluation.__main__ import main
+
+        out = tmp_path / "report.json"
+        manifest_out = tmp_path / "manifest.json"
+        rc = main([
+            "machines", "cg", "--machines", "sandybridge",
+            "--out", str(out), "--manifest-out", str(manifest_out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["machines"] == ["sandybridge"]
+        manifest = RunManifest.from_dict(
+            json.loads(manifest_out.read_text()))
+        assert manifest.run_id == "machines-sandybridge"
+        assert "cg" in manifest.workloads
+        assert "Machine comparison" in capsys.readouterr().out
+
+    def test_unknown_machine_is_a_usage_error(self):
+        from repro.evaluation.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["machines", "cg", "--machines", "cray1"])
+
+    def test_manifest_machine_must_be_compared(self, tmp_path):
+        from repro.evaluation.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([
+                "machines", "cg", "--machines", "ideal",
+                "--manifest-out", str(tmp_path / "m.json"),
+            ])

@@ -11,6 +11,7 @@ from repro.fuzz.oracles import (
     run_oracles,
 )
 from repro.fuzz.workload import FuzzWorkload
+from repro.sim import MachineConfig
 
 
 def _program(source: str, seed: int = 0, **extra) -> GeneratedProgram:
@@ -90,6 +91,22 @@ class TestBrokenComponentsAreCaught:
         assert violations
         assert "store" in violations[0].detail
 
+    def test_machine_divergence_is_caught(self, monkeypatch):
+        from repro.runtime.scheduler import DAEScheduler
+
+        original = DAEScheduler.run
+
+        def skewed(self, profiles, scheme, policy, record_timeline=None):
+            result = original(self, profiles, scheme, policy,
+                              record_timeline=record_timeline)
+            if self.machine is not None:
+                result.energy_nj += 1.0
+            return result
+
+        monkeypatch.setattr(DAEScheduler, "run", skewed)
+        violations = run_oracles(generate_program(0))
+        assert any(v.oracle == "machine-invariance" for v in violations)
+
     def test_crash_inside_oracle_is_reported_not_raised(self, monkeypatch):
         import repro.fuzz.oracles as oracles
 
@@ -119,6 +136,14 @@ class TestWorkloadAdapter:
         _, tasks1, _ = workload.instantiate(scale=1, compiled=compiled)
         _, tasks4, _ = workload.instantiate(scale=4, compiled=compiled)
         assert len(tasks1) == len(tasks4) == 1
+
+
+def test_machine_invariance_oracle_is_registered_and_clean():
+    from repro.fuzz.oracles import _check_machine_invariance
+
+    assert "machine-invariance" in ORACLE_NAMES
+    case = prepare_case(generate_program(0))
+    assert _check_machine_invariance(case, MachineConfig()) == []
 
 
 def test_oracle_names_cover_reported_oracles():

@@ -1,0 +1,72 @@
+"""big.LITTLE DAE end-to-end: every paper workload profiles and
+schedules on the migration-based machine with access phases on the
+LITTLE cluster and audited migration charges."""
+
+import pytest
+
+from repro.engine.products import profile_workload
+from repro.machines import biglittle_machine, little_config
+from repro.power.frequency import FrequencyPolicy
+from repro.runtime import DAEScheduler
+from repro.runtime.task import Scheme
+from repro.sim import MachineConfig
+from repro.workloads import ALL_WORKLOADS
+
+LITTLE_FMAX = little_config().fmax.freq_ghz
+BIG_FREQS = {p.freq_ghz for p in MachineConfig().operating_points}
+LITTLE_FREQS = {p.freq_ghz for p in little_config().operating_points}
+
+
+@pytest.mark.parametrize(
+    "workload_cls", ALL_WORKLOADS, ids=[w.name for w in ALL_WORKLOADS],
+)
+def test_dae_completes_on_every_workload(workload_cls):
+    machine = biglittle_machine()
+    run = profile_workload(
+        workload_cls(), 1, machine=machine, schemes=(Scheme.DAE,),
+    )
+    policy = FrequencyPolicy.from_name("optimal", machine.config)
+    result = DAEScheduler(machine=machine).run(
+        run.profiles["dae"].tasks, "dae", policy, record_timeline=True,
+    )
+
+    assert result.tasks_run == run.task_count
+    assert result.machine == "biglittle"
+    assert result.placement == {"access": "little", "execute": "big"}
+    assert result.migrations > 0
+    assert result.transition_nj > 0.0
+
+    # The roll-ups stay exact with migration charges in the mix.
+    result.timeline.validate(result.time_ns)
+    result.timeline.validate_energy(result.energy_nj)
+
+    segments = [
+        segment
+        for core_segments in result.timeline.per_core().values()
+        for segment in core_segments
+    ]
+    access = [s for s in segments if s.kind == "access"]
+    assert access, "DAE run recorded no access segments"
+    # Every access phase runs on a real table point of one of the two
+    # clusters; at least one lands on the LITTLE table (the cold slot
+    # places the first access phase there unconditionally).
+    for segment in access:
+        assert segment.freq_ghz in BIG_FREQS | LITTLE_FREQS
+    assert any(s.freq_ghz <= LITTLE_FMAX + 1e-9 for s in access)
+    # Cluster crossings surface as switch segments.
+    assert any(s.kind == "switch" for s in segments)
+
+
+def test_migration_summary_keys_are_present():
+    machine = biglittle_machine()
+    run = profile_workload(
+        ALL_WORKLOADS[0](), 1, machine=machine, schemes=(Scheme.DAE,),
+    )
+    policy = FrequencyPolicy.from_name("optimal", machine.config)
+    result = DAEScheduler(machine=machine).run(
+        run.profiles["dae"].tasks, "dae", policy,
+    )
+    summary = result.summary()
+    assert summary["machine"] == "biglittle"
+    assert summary["migrations"] == result.migrations > 0
+    assert summary["placement"] == {"access": "little", "execute": "big"}
